@@ -1,0 +1,89 @@
+"""Problem generators for the Fig. 6 algorithm benchmarks."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.core.constraints import Bandwidth, Problem, Subscription
+from repro.core.ladder import qoe_utility
+from repro.core.types import PAPER_RESOLUTIONS, Resolution, StreamSpec
+
+
+def ladder_with_levels(total_levels: int) -> List[StreamSpec]:
+    """A ladder with ``total_levels`` rungs spread over the paper's three
+    resolutions (matching Fig. 6b's "number of bitrate levels" axis)."""
+    ranges = {
+        Resolution.P720: (900, 1500),
+        Resolution.P360: (400, 800),
+        Resolution.P180: (100, 300),
+    }
+    per_res = {res: total_levels // 3 for res in PAPER_RESOLUTIONS}
+    for k in range(total_levels % 3):
+        per_res[PAPER_RESOLUTIONS[k]] += 1
+    used = set()
+    streams: List[StreamSpec] = []
+    for res in PAPER_RESOLUTIONS:
+        n = per_res[res]
+        if n == 0:
+            continue
+        lo, hi = ranges[res]
+        rates = (
+            [hi]
+            if n == 1
+            else [round(lo + k * (hi - lo) / (n - 1)) for k in range(n)]
+        )
+        for rate in rates:
+            while rate in used:
+                rate -= 1
+            used.add(rate)
+            streams.append(StreamSpec(rate, res, qoe_utility(rate)))
+    return streams
+
+
+def mesh_meeting(
+    n_clients: int,
+    total_levels: int,
+    seed: int = 1,
+) -> Problem:
+    """A symmetric full-mesh meeting (Fig. 6a/6b workload)."""
+    rng = random.Random(seed)
+    ladder = ladder_with_levels(total_levels)
+    clients = [f"C{k}" for k in range(n_clients)]
+    bandwidth = {
+        c: Bandwidth(
+            uplink_kbps=rng.choice([1200, 2500, 5000]),
+            downlink_kbps=rng.choice([800, 1500, 3000, 6000]),
+        )
+        for c in clients
+    }
+    subs = [
+        Subscription(a, b, Resolution.P720)
+        for a in clients
+        for b in clients
+        if a != b
+    ]
+    return Problem({c: ladder for c in clients}, bandwidth, subs)
+
+
+def fanout_meeting(
+    n_publishers: int,
+    n_subscribers: int,
+    total_levels: int,
+    seed: int = 1,
+) -> Problem:
+    """Disjoint publishers/subscribers (Fig. 6c's (pubs, subs, bitrates)
+    tuples): every subscriber follows every publisher."""
+    rng = random.Random(seed)
+    ladder = ladder_with_levels(total_levels)
+    pubs = [f"P{k}" for k in range(n_publishers)]
+    subs = [f"S{k}" for k in range(n_subscribers)]
+    bandwidth = {}
+    for p in pubs:
+        bandwidth[p] = Bandwidth(rng.choice([2000, 3500, 5000]), 500)
+    for s in subs:
+        bandwidth[s] = Bandwidth(500, rng.choice([1000, 2000, 4000, 8000]))
+    edges = [
+        Subscription(s, p, Resolution.P720) for s in subs for p in pubs
+    ]
+    return Problem({p: ladder for p in pubs}, bandwidth, edges)

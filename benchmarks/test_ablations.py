@@ -1,0 +1,448 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not a paper figure — these benches quantify the individual mechanisms the
+paper describes qualitatively:
+
+* **ladder granularity** — fine (15-level) vs coarse (3-level) ladders:
+  the QoE the knapsack can extract from heterogeneous downlinks;
+* **DP granularity** — solve-time vs optimality across knapsack grids;
+* **upgrade damper** — bandwidth-report oscillation with/without the
+  Sec. 7 hysteresis;
+* **stickiness** — assignment churn with/without the incumbent bonus;
+* **small-stream protection** — concave vs linear QoE curves under
+  stream competition.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core import (
+    Bandwidth,
+    GsoSolver,
+    Resolution,
+    SolverConfig,
+    StreamSpec,
+    UpgradeDamper,
+    make_ladder,
+)
+from repro.core.constraints import Problem, Subscription
+
+from _harness import emit, table
+from _problems import fanout_meeting, mesh_meeting
+
+
+def heterogeneous_mesh(ladder, seed=5, n=8):
+    rng = random.Random(seed)
+    clients = [f"C{k}" for k in range(n)]
+    bandwidth = {
+        c: Bandwidth(
+            rng.choice([1500, 3000, 5000]),
+            rng.choice([700, 1100, 1600, 2300, 3500]),
+        )
+        for c in clients
+    }
+    subs = [
+        Subscription(a, b, Resolution.P720)
+        for a in clients
+        for b in clients
+        if a != b
+    ]
+    return Problem({c: ladder for c in clients}, bandwidth, subs)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_ladder_granularity(benchmark):
+    """Fine ladders fit video into heterogeneous downlinks (Fig. 3b/7).
+
+    Measured as mean downlink *utilization* over dedicated pub->sub pairs
+    across a sweep of downlink capacities: with one rung per resolution a
+    1.45 Mbps downlink gets 800 kbps; with fine rungs it gets ~1.4 Mbps.
+    (A mesh-wide QoE sum would conflate this with Step-2 merging, which
+    intentionally pulls shared encodings down to the minimum request.)
+    """
+
+    def run():
+        downlinks = list(range(350, 1701, 90))
+        rows = []
+        for levels in (1, 2, 3, 5, 8):
+            ladder = make_ladder(levels_per_resolution=levels)
+            utilizations = []
+            for down in downlinks:
+                problem = Problem(
+                    {"P": ladder},
+                    {"P": Bandwidth(5000, 100), "S": Bandwidth(100, down)},
+                    [Subscription("S", "P", Resolution.P720)],
+                )
+                solution = GsoSolver(SolverConfig(granularity_kbps=10)).solve(
+                    problem
+                )
+                got = sum(
+                    s.bitrate_kbps
+                    for s in solution.assignments.get("S", {}).values()
+                )
+                utilizations.append(got / down)
+            rows.append((levels * 3, sum(utilizations) / len(utilizations)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_ladder",
+        table(
+            ["total levels", "mean downlink utilization"],
+            [[lv, f"{u:.1%}"] for lv, u in rows],
+        ),
+    )
+    utils = {lv: u for lv, u in rows}
+    # Fine ladders fit markedly better than the coarse template ladder.
+    assert utils[15] > utils[3] + 0.10
+    assert utils[15] > 0.75
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_dp_granularity(benchmark):
+    """Coarser knapsack grids trade bounded QoE for solve time."""
+
+    def run():
+        problem = fanout_meeting(10, 100, 18, seed=3)
+        rows = []
+        for grid in (1, 10, 25, 50, 100):
+            solver = GsoSolver(SolverConfig(granularity_kbps=grid))
+            t0 = time.perf_counter()
+            solution = solver.solve(problem)
+            elapsed = time.perf_counter() - t0
+            rows.append((grid, elapsed, solution.total_qoe()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    exact_qoe = rows[0][2]
+    emit(
+        "ablation_dp_granularity",
+        table(
+            ["grid kbps", "time", "QoE vs exact"],
+            [
+                [g, f"{t * 1000:.1f}ms", f"{q / exact_qoe:.4f}"]
+                for g, t, q in rows
+            ],
+        ),
+    )
+    # Coarser grids are faster with near-zero QoE loss on real ladders
+    # (rung spacing >> grid step keeps the DP's choices identical).
+    t_exact, t_100 = rows[0][1], rows[-1][1]
+    assert t_100 < t_exact
+    for _, _, qoe in rows:
+        assert qoe > 0.97 * exact_qoe
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_upgrade_damper(benchmark):
+    """The Sec. 7 hysteresis flattens noisy measurement sequences."""
+
+    def run():
+        rng = random.Random(9)
+        # The paper's scenario: a slow link whose measurements fluctuate
+        # around a degraded level after a real drop — exactly where naive
+        # re-upgrading causes visible quality oscillation.
+        raw = [1000] * 20 + [
+            int(600 * rng.uniform(0.93, 1.07)) for _ in range(180)
+        ]
+        damped_filter = UpgradeDamper(upgrade_margin=0.15)
+        damped = [damped_filter.filter("c", "downlink", v) for v in raw]
+
+        def significant_changes(series, threshold=0.05):
+            return sum(
+                1
+                for a, b in zip(series, series[1:])
+                if abs(b - a) / max(a, 1) > threshold
+            )
+
+        return significant_changes(raw), significant_changes(damped)
+
+    raw_changes, damped_changes = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    emit(
+        "ablation_damper",
+        [
+            f"significant value changes without damper: {raw_changes}",
+            f"significant value changes with damper:    {damped_changes}",
+        ],
+    )
+    # The damper converges to a stable value instead of oscillating, while
+    # still passing the genuine drop immediately.
+    assert damped_changes < raw_changes / 3
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_stickiness(benchmark):
+    """The incumbent bonus suppresses assignment churn under input noise."""
+
+    def run():
+        rng = random.Random(4)
+        ladder = make_ladder(levels_per_resolution=5)
+
+        def churn(stickiness):
+            solver = GsoSolver(
+                SolverConfig(granularity_kbps=10, stickiness=stickiness)
+            )
+            incumbent = None
+            switches = 0
+            previous = None
+            for step in range(40):
+                noise = rng.uniform(0.9, 1.1)
+                problem = Problem(
+                    {"A": ladder, "B": ladder},
+                    {
+                        "A": Bandwidth(5000, 100),
+                        "B": Bandwidth(5000, 100),
+                        "V": Bandwidth(100, int(1100 * noise)),
+                    },
+                    [
+                        Subscription("V", "A", Resolution.P720),
+                        Subscription("V", "B", Resolution.P720),
+                    ],
+                )
+                solution = solver.solve(problem, incumbent=incumbent)
+                current = {
+                    pub: stream.resolution
+                    for pub, stream in solution.assignments.get("V", {}).items()
+                }
+                if previous is not None and current != previous:
+                    switches += 1
+                previous = current
+                incumbent = {
+                    ("V", pub): res for pub, res in current.items()
+                }
+            return switches
+
+        rng_state = rng.getstate()
+        plain = churn(0.0)
+        rng.setstate(rng_state)
+        sticky = churn(0.10)
+        return plain, sticky
+
+    plain, sticky = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_stickiness",
+        [
+            f"resolution switches without stickiness: {plain}",
+            f"resolution switches with stickiness:    {sticky}",
+        ],
+    )
+    assert sticky <= plain
+    assert sticky < 10
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_small_stream_protection(benchmark):
+    """Concave QoE keeps both competing streams; linear QoE drops one."""
+
+    def ladder_with(exponent_concave: bool):
+        rates = range(200, 1501, 100)
+        if exponent_concave:
+            return [
+                StreamSpec(r, Resolution.P720, 100.0 * (r / 100) ** 0.5)
+                for r in rates
+            ]
+        return [StreamSpec(r, Resolution.P720, float(r)) for r in rates]
+
+    def run():
+        outcomes = {}
+        for concave in (True, False):
+            ladder = ladder_with(concave)
+            problem = Problem(
+                {"P1": ladder, "P2": ladder},
+                {
+                    "P1": Bandwidth(5000, 100),
+                    "P2": Bandwidth(5000, 100),
+                    "V": Bandwidth(100, 1700),
+                },
+                [
+                    Subscription("V", "P1", Resolution.P720),
+                    Subscription("V", "P2", Resolution.P720),
+                ],
+            )
+            solution = GsoSolver().solve(problem)
+            rates = sorted(
+                s.bitrate_kbps
+                for s in solution.assignments.get("V", {}).values()
+            )
+            outcomes[concave] = rates
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_protection",
+        [
+            f"concave QoE (protected): {outcomes[True]}",
+            f"linear QoE (unprotected): {outcomes[False]}",
+        ],
+    )
+    # Concave: both publishers kept at comparable rates.
+    assert len(outcomes[True]) == 2
+    assert max(outcomes[True]) - min(outcomes[True]) <= 200
+    # Linear: winner-takes-most (one big stream, one tiny or none).
+    assert (
+        len(outcomes[False]) < 2
+        or max(outcomes[False]) - min(outcomes[False]) >= 900
+    )
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_probing(benchmark):
+    """Pacer probing + send-rate capping vs raw GCC over-estimation.
+
+    Sec. 7: "GCC-like congestion controls tend to over-estimate a link's
+    bandwidth for a small stream".  Setup: the publisher's true uplink is
+    600 kbps but the controller only needs a ~300 kbps stream (the single
+    subscriber caps at 180p).  Without probing, the estimate drifts to the
+    validation cap far above the real 600 kbps; with probe bursts the
+    excess is tested against the real link and pulled back.
+    """
+
+    def run():
+        from repro.conference import ClientSpec, MeetingSpec
+        from repro.conference.runner import MeetingRunner
+
+        results = {}
+        for probing in (True, False):
+            spec = MeetingSpec(
+                clients=[
+                    ClientSpec("pub", 600, 3000),
+                    ClientSpec("sub", 3000, 5000, publishes=False),
+                ],
+                subscriptions=[("sub", "pub", Resolution.P180)],
+                mode="gso",
+                duration_s=40.0,
+                warmup_s=20.0,
+            )
+            runner = MeetingRunner(spec)
+            pub = runner.clients["pub"]
+            pub.config.probing_enabled = probing
+            runner.sim.run_until(40.0)
+            results[probing] = pub.uplink_estimate_kbps()
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_probing",
+        [
+            f"true uplink: 600 kbps (sending ~300 kbps)",
+            f"estimate with probing:    {results[True]:.0f} kbps",
+            f"estimate without probing: {results[False]:.0f} kbps",
+        ],
+    )
+    # With probing the estimate stays anchored near the true capacity.
+    assert results[True] <= 750
+    # Without probing it drifts toward the send-rate validation cap.
+    assert results[False] >= results[True]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_audio_protection(benchmark):
+    """The Sec. 7 audio headroom: without it, video eats the audio.
+
+    A viewer on a tight downlink subscribes to two publishers; with the
+    protection margin the solver leaves room and voice stays clean, with
+    it removed the knapsack fills the whole pipe and audio breaks up.
+    """
+
+    def run():
+        from repro.conference import ClientSpec, MeetingSpec
+        from repro.conference.runner import MeetingRunner
+
+        results = {}
+        for protection in (50, 0):
+            spec = MeetingSpec(
+                clients=[
+                    ClientSpec("p1", 3000, 3000),
+                    ClientSpec("p2", 3000, 3000),
+                    ClientSpec("viewer", 3000, 800, publishes=False),
+                ],
+                subscriptions=[
+                    ("viewer", "p1", Resolution.P360),
+                    ("viewer", "p2", Resolution.P360),
+                ],
+                mode="gso",
+                duration_s=40.0,
+                warmup_s=15.0,
+            )
+            runner = MeetingRunner(spec)
+            runner.conference.config.audio_protection_kbps = protection
+            report = runner.run()
+            results[protection] = report.voice_stall["viewer"]
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_audio_protection",
+        [
+            f"voice stall with 50 kbps protection: {results[50]:.2f}",
+            f"voice stall without protection:      {results[0]:.2f}",
+        ],
+    )
+    assert results[50] <= results[0]
+    assert results[50] < 0.25
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_kmr_vs_exact_milp(benchmark):
+    """KMR's optimality gap against a proven global optimum (HiGHS MILP).
+
+    Beyond the paper: brute force caps at toy sizes, but an exact ILP
+    formulation scales far enough to measure the joint-optimality gap of
+    the KMR decomposition on realistic meshes.  The observed ~15% gap is
+    the price of Step-2's merge-to-minimum rule; the Step-1 objective the
+    paper reports as "optimality ~ 1" is solved exactly by the DP.
+    """
+    import random as _random
+
+    from repro.core import Bandwidth
+    from repro.core.constraints import Problem, Subscription
+    from repro.core.ladder import paper_ladder
+    from repro.core.milp import solve_joint_milp
+
+    def run():
+        ladder = paper_ladder()
+        rng = _random.Random(33)
+        solver = GsoSolver(SolverConfig(granularity_kbps=10))
+        rows = []
+        for n in (3, 4, 5, 6):
+            ratios = []
+            for _ in range(5):
+                clients = [f"C{k}" for k in range(n)]
+                subs = [
+                    Subscription(a, b, Resolution.P720)
+                    for a in clients
+                    for b in clients
+                    if a != b and rng.random() < 0.85
+                ]
+                problem = Problem(
+                    {c: ladder for c in clients},
+                    {
+                        c: Bandwidth(
+                            rng.choice([600, 1500, 3000, 5000]),
+                            rng.choice([500, 1000, 2000, 4000]),
+                        )
+                        for c in clients
+                    },
+                    subs,
+                )
+                optimal = solve_joint_milp(problem).total_qoe()
+                if optimal <= 0:
+                    continue
+                ratios.append(solver.solve(problem).total_qoe() / optimal)
+            rows.append((n, sum(ratios) / len(ratios), min(ratios)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_kmr_vs_milp",
+        table(
+            ["clients", "mean QoE ratio", "worst"],
+            [[n, f"{m:.3f}", f"{w:.3f}"] for n, m, w in rows],
+        ),
+    )
+    for n, mean_ratio, worst in rows:
+        assert mean_ratio > 0.75, f"n={n} mean gap too large"
+        assert worst > 0.60, f"n={n} worst-case gap too large"

@@ -1,0 +1,93 @@
+"""Fig. 12: CDF of the controller's call interval.
+
+The deployment statistics: minimum 1 s, maximum 3 s, mean ~1.8 s.  Two
+sources regenerate the distribution:
+
+* the analytic/process model (:class:`repro.deploy.IntervalProcess`) at
+  fleet scale;
+* the *actual* controller runtime inside a packet-level meeting whose
+  links fluctuate, cross-checking that the implemented trigger policy
+  produces intervals inside the same envelope.
+"""
+
+import random
+
+import pytest
+
+from repro.conference import ClientSpec, MeetingSpec
+from repro.conference.runner import MeetingRunner
+from repro.deploy import IntervalProcess, empirical_cdf
+from repro.net.trace import BandwidthStep, BandwidthTrace
+
+from _harness import emit, table
+
+
+def run_process():
+    process = IntervalProcess()
+    rng = random.Random(12)
+    samples = process.sample_many(50_000, rng)
+    return process, samples
+
+
+def run_live_meeting():
+    """A meeting with a fluctuating downlink: real controller intervals."""
+    steps = [
+        BandwidthStep(t, kbps)
+        for t, kbps in zip(
+            range(5, 115, 5),
+            [1800, 900, 2400, 700, 2000, 1100, 2600, 800, 1900, 1000,
+             2500, 750, 2100, 950, 2300, 850, 1700, 1200, 2200, 900,
+             2400, 800],
+        )
+    ]
+    spec = MeetingSpec(
+        clients=[
+            ClientSpec("pub", 5000, 5000),
+            ClientSpec(
+                "sub",
+                5000,
+                2500,
+                publishes=False,
+                downlink_trace=BandwidthTrace(steps),
+            ),
+        ],
+        mode="gso",
+        duration_s=115.0,
+        warmup_s=5.0,
+    )
+    report = MeetingRunner(spec).run()
+    return report.call_intervals
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_call_interval_cdf(benchmark):
+    (process, samples), live = benchmark.pedantic(
+        lambda: (run_process(), run_live_meeting()), rounds=1, iterations=1
+    )
+    cdf_points = [1.0, 1.2, 1.5, 1.8, 2.1, 2.5, 2.9, 3.0]
+    rows = [
+        [f"{t:.1f}s", f"{process.cdf(t):.3f}"]
+        for t in cdf_points
+    ]
+    mean_sampled = sum(samples) / len(samples)
+    emit(
+        "fig12_call_interval",
+        table(["t", "CDF"], rows)
+        + [
+            "",
+            f"process mean: {process.mean():.2f}s (paper: ~1.8s)",
+            f"sampled mean: {mean_sampled:.2f}s over {len(samples)} draws",
+            f"live-meeting intervals: n={len(live)}, "
+            f"mean={sum(live)/len(live):.2f}s, "
+            f"min={min(live):.2f}s, max={max(live):.2f}s",
+        ],
+    )
+    # Envelope: [1 s, 3 s] everywhere, in both sources.
+    assert min(samples) >= 1.0 and max(samples) <= 3.0
+    assert min(live) >= 1.0 - 1e-6 and max(live) <= 3.0 + 1e-6
+    # Means near the deployment's 1.8 s.
+    assert abs(process.mean() - 1.8) < 0.2
+    assert 1.0 <= sum(live) / len(live) <= 3.0
+    # CDF edges.
+    assert process.cdf(0.99) == 0.0
+    assert process.cdf(3.0) == 1.0

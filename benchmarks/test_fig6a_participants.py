@@ -1,0 +1,86 @@
+"""Fig. 6a: GSO vs brute force as the number of participants grows.
+
+The paper varies subscribers/publishers 2..8 with a small bitrate set and
+plots (log-scale) normalized computation time of both algorithms plus the
+QoE-optimality ratio.  Expected shape: brute-force time grows
+exponentially with participants (a straight line in log scale); GSO stays
+orders of magnitude flatter; optimality stays ~1.
+"""
+
+import time
+
+import pytest
+
+from repro.core.bruteforce import step1_objective
+from repro.core.knapsack import knapsack_step
+from repro.core.solver import GsoSolver, SolverConfig
+
+from _harness import emit, table
+from _problems import mesh_meeting
+
+SIZES = [2, 3, 4, 5, 6, 7, 8]
+LEVELS = 3  # one rung per resolution, as in the paper's small-scale runs
+
+GSO = GsoSolver(SolverConfig(granularity_kbps=10))
+BRUTE = GsoSolver(SolverConfig(exhaustive_step1=True))
+
+
+def run_sweep():
+    rows = []
+    for n in SIZES:
+        problem = mesh_meeting(n, LEVELS, seed=n)
+        t0 = time.perf_counter()
+        gso_solution = GSO.solve(problem)
+        gso_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        brute_solution = BRUTE.solve(problem)
+        brute_time = time.perf_counter() - t0
+        gso_solution.validate(problem)
+        brute_solution.validate(problem)
+        # QoE optimality as the paper defines it: the ratio of the Eq. (1)
+        # Step-1 objectives (GSO's pseudo-polynomial DP vs exact search).
+        dp_obj = step1_objective(
+            knapsack_step(problem, granularity=GSO.config.granularity_kbps)
+        )
+        exact_obj = step1_objective(knapsack_step(problem, exhaustive=True))
+        ratio = dp_obj / exact_obj if exact_obj else 1.0
+        rows.append((n, gso_time, brute_time, ratio))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig6a")
+def test_fig6a_participants(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    brute_peak = max(r[2] for r in rows)
+    printable = [
+        [
+            n,
+            f"{gso_t * 1000:.2f}ms",
+            f"{brute_t * 1000:.2f}ms",
+            f"{gso_t / brute_peak:.2e}",
+            f"{brute_t / brute_peak:.2e}",
+            f"{ratio:.4f}",
+        ]
+        for n, gso_t, brute_t, ratio in rows
+    ]
+    emit(
+        "fig6a_participants",
+        table(
+            [
+                "participants",
+                "gso",
+                "brute",
+                "gso(norm)",
+                "brute(norm)",
+                "QoE optimality",
+            ],
+            printable,
+        ),
+    )
+    # Shape assertions: brute-force grows ~exponentially; GSO stays far
+    # cheaper at scale; optimality is near one everywhere.
+    by_n = {n: (g, b, r) for n, g, b, r in rows}
+    assert by_n[8][1] > 50 * by_n[2][1], "brute force must explode with size"
+    assert by_n[8][0] < by_n[8][1] / 10, "GSO must be >=10x faster at n=8"
+    for n, (_, _, ratio) in by_n.items():
+        assert ratio >= 0.93, f"optimality at n={n} fell to {ratio}"

@@ -1,0 +1,77 @@
+"""Fig. 6b: GSO vs brute force as the number of bitrate levels grows.
+
+The paper varies the bitrate-level count 2..8 on a fixed small meeting:
+brute-force time grows exponentially with levels (which is what blocks
+fine-grained policies in classic simulcast); GSO grows ~linearly; QoE
+optimality stays ~1.
+"""
+
+import time
+
+import pytest
+
+from repro.core.bruteforce import step1_objective
+from repro.core.knapsack import knapsack_step
+from repro.core.solver import GsoSolver, SolverConfig
+
+from _harness import emit, table
+from _problems import mesh_meeting
+
+LEVELS = [2, 3, 4, 5, 6, 7, 8]
+N_CLIENTS = 5
+
+GSO = GsoSolver(SolverConfig(granularity_kbps=10))
+BRUTE = GsoSolver(SolverConfig(exhaustive_step1=True))
+
+
+def run_sweep():
+    rows = []
+    for levels in LEVELS:
+        problem = mesh_meeting(N_CLIENTS, levels, seed=levels)
+        t0 = time.perf_counter()
+        gso_solution = GSO.solve(problem)
+        gso_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        brute_solution = BRUTE.solve(problem)
+        brute_time = time.perf_counter() - t0
+        dp_obj = step1_objective(
+            knapsack_step(problem, granularity=GSO.config.granularity_kbps)
+        )
+        exact_obj = step1_objective(knapsack_step(problem, exhaustive=True))
+        ratio = dp_obj / exact_obj if exact_obj else 1.0
+        rows.append((levels, gso_time, brute_time, ratio))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig6b")
+def test_fig6b_bitrate_levels(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    brute_peak = max(r[2] for r in rows)
+    printable = [
+        [
+            levels,
+            f"{g * 1000:.2f}ms",
+            f"{b * 1000:.2f}ms",
+            f"{g / brute_peak:.2e}",
+            f"{b / brute_peak:.2e}",
+            f"{ratio:.4f}",
+        ]
+        for levels, g, b, ratio in rows
+    ]
+    emit(
+        "fig6b_bitrates",
+        table(
+            ["levels", "gso", "brute", "gso(norm)", "brute(norm)", "QoE optimality"],
+            printable,
+        ),
+    )
+    by_level = {l: (g, b, r) for l, g, b, r in rows}
+    assert by_level[8][1] > 20 * by_level[2][1], "brute must explode with levels"
+    assert by_level[8][0] < by_level[8][1] / 10
+    # GSO scales ~linearly with levels: going 2 -> 8 levels must not cost
+    # anywhere near the brute force's exponential factor.
+    gso_growth = by_level[8][0] / max(by_level[2][0], 1e-9)
+    brute_growth = by_level[8][1] / max(by_level[2][1], 1e-9)
+    assert gso_growth < brute_growth / 4
+    for levels, (_, _, ratio) in by_level.items():
+        assert ratio >= 0.93, f"optimality at levels={levels} fell to {ratio}"

@@ -1,0 +1,66 @@
+"""Fig. 6c: GSO computation time at large meeting scale.
+
+The paper's tuples (# publishers, # subscribers, # bitrates) go up to
+(10, 400, 18); the claim is that the control algorithm "scales linearly
+with the number of subscribers and bitrates and quadratically with the
+number of publishers", keeping real-time control feasible for meetings
+with hundreds of participants.
+"""
+
+import time
+
+import pytest
+
+from repro.core.solver import GsoSolver, SolverConfig
+
+from _harness import emit, table
+from _problems import fanout_meeting
+
+#: The paper's exact tuples.
+TUPLES = [
+    (10, 50, 9),
+    (10, 50, 18),
+    (10, 100, 18),
+    (20, 100, 18),
+    (10, 200, 18),
+    (10, 400, 18),
+]
+
+GSO = GsoSolver(SolverConfig(granularity_kbps=25))
+
+
+def run_sweep():
+    rows = []
+    for pubs, subs, levels in TUPLES:
+        problem = fanout_meeting(pubs, subs, levels, seed=pubs * subs)
+        t0 = time.perf_counter()
+        solution = GSO.solve(problem)
+        elapsed = time.perf_counter() - t0
+        solution.validate(problem)
+        rows.append((pubs, subs, levels, elapsed))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig6c")
+def test_fig6c_large_meetings(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    peak = max(r[3] for r in rows)
+    printable = [
+        [f"({p} {s} {b})", f"{t * 1000:.1f}ms", f"{t / peak:.3f}"]
+        for p, s, b, t in rows
+    ]
+    emit(
+        "fig6c_large",
+        table(["(pubs subs bitrates)", "time", "normalized"], printable),
+    )
+    by_tuple = {(p, s, b): t for p, s, b, t in rows}
+    # Real-time feasibility: every tuple solves well inside the 1 s minimum
+    # control interval.
+    for key, elapsed in by_tuple.items():
+        assert elapsed < 1.0, f"{key} took {elapsed:.2f}s"
+    # Scaling shape: ~linear in subscribers (4x subs < ~8x time) and
+    # super-linear in publishers.
+    t_50 = by_tuple[(10, 50, 18)]
+    t_400 = by_tuple[(10, 400, 18)]
+    assert t_400 < 16 * t_50
+    assert by_tuple[(20, 100, 18)] > by_tuple[(10, 100, 18)]

@@ -1,0 +1,89 @@
+"""Fig. 8: the slow-link test matrix across four schemes.
+
+For every Table 2 case, the paper plots normalized framerate, video
+quality, and video stall for GSO, Non-GSO, and two commercial
+competitors.  Expected shape: GSO handles *every* case (high framerate,
+high quality, low stall); the others fail at least some cases.
+
+Runtime note: this is the heaviest bench (the full matrix is 15 cases x 4
+schemes of packet-level simulation); it runs each meeting exactly once.
+"""
+
+import pytest
+
+from repro.conference.runner import MeetingRunner
+from repro.conference.scenarios import (
+    affected_views,
+    slow_link_cases,
+    slow_link_meeting,
+)
+
+from _harness import emit, table
+
+SCHEMES = ["gso", "nongso", "competitor1", "competitor2"]
+
+
+def run_case(case, mode):
+    spec = slow_link_meeting(case, mode)
+    report = MeetingRunner(spec).run()
+    hit = affected_views(case)
+    views = [v for v in report.views if hit(v.subscriber, v.publisher)]
+    if not views:
+        return (0.0, 0.0, 1.0)
+    fps = sum(v.framerate for v in views) / len(views)
+    quality = sum(v.quality_score for v in views) / len(views)
+    stall = sum(v.stall_rate for v in views) / len(views)
+    return (fps, quality, stall)
+
+
+def run_matrix():
+    results = {}
+    for case in slow_link_cases():
+        for mode in SCHEMES:
+            results[(case.name, mode)] = run_case(case, mode)
+    return results
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_slow_link_matrix(benchmark):
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    cases = [c.name for c in slow_link_cases()]
+    # Normalize each metric against the best value in its case row, like
+    # the paper's normalized axes.
+    lines = []
+    for metric, index in (("framerate", 0), ("quality", 1), ("stall", 2)):
+        rows = []
+        for case in cases:
+            row = [case]
+            peak = max(results[(case, m)][index] for m in SCHEMES) or 1.0
+            for mode in SCHEMES:
+                value = results[(case, mode)][index]
+                if metric == "stall":
+                    row.append(f"{value:.2f}")
+                else:
+                    row.append(f"{value / peak:.2f}")
+            rows.append(row)
+        lines.append(f"[{metric}]")
+        lines.extend(table(["case"] + SCHEMES, rows))
+        lines.append("")
+    emit("fig8_slowlink", lines)
+
+    # --- Shape assertions ------------------------------------------------
+    gso_stalls = [results[(c, "gso")][2] for c in cases]
+    # GSO handles every case: stall stays moderate everywhere.
+    assert max(gso_stalls) < 0.65, f"GSO fell over: {max(gso_stalls)}"
+    # Across the whole matrix GSO accumulates the least stall...
+    totals = {m: sum(results[(c, m)][2] for c in cases) for m in SCHEMES}
+    assert totals["gso"] == min(totals.values())
+    # ...and at least matches the field on framerate and quality.
+    fps_totals = {m: sum(results[(c, m)][0] for c in cases) for m in SCHEMES}
+    q_totals = {m: sum(results[(c, m)][1] for c in cases) for m in SCHEMES}
+    assert fps_totals["gso"] >= 0.95 * max(fps_totals.values())
+    assert q_totals["gso"] >= 0.9 * max(q_totals.values())
+    # The competitors exhibit failure cases GSO does not (the paper's
+    # "cannot handle all cases"): some case where their stall is far worse.
+    for comp in ("competitor1", "competitor2"):
+        worst_gap = max(
+            results[(c, comp)][2] - results[(c, "gso")][2] for c in cases
+        )
+        assert worst_gap > 0.2, f"{comp} should fail some case badly"

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Narrated walk-through of the Knapsack-Merge-Reduction algorithm (Fig. 5).
+
+Prints the paper's three-step procedure decision by decision on a Fig. 5
+style meeting — three clients, three resolutions, fine bitrate rungs —
+then shows how the same meeting is solved by the exact MILP and what the
+decomposition's optimality gap is.  Run it with::
+
+    python examples/algorithm_walkthrough.py
+"""
+
+from repro.core import Bandwidth, ProblemBuilder, Resolution, paper_ladder
+from repro.core.explain import explain_solve
+from repro.core.milp import solve_joint_milp
+
+
+def build_fig5_meeting():
+    """Three clients, each both publisher and subscriber (Fig. 5)."""
+    builder = ProblemBuilder()
+    ladder = paper_ladder()
+    builder.add_client("A", Bandwidth(1800, 2400), ladder)
+    builder.add_client("B", Bandwidth(5000, 3000), ladder)
+    builder.add_client("C", Bandwidth(5000, 1600), ladder)
+    builder.subscribe("A", "B", Resolution.P360)
+    builder.subscribe("A", "C", Resolution.P720)
+    builder.subscribe("B", "A", Resolution.P720)
+    builder.subscribe("B", "C", Resolution.P360)
+    builder.subscribe("C", "A", Resolution.P720)
+    builder.subscribe("C", "B", Resolution.P180)
+    return builder.build()
+
+
+def main():
+    problem = build_fig5_meeting()
+    explained = explain_solve(problem)
+    print(explained)
+
+    optimal = solve_joint_milp(problem)
+    optimal.validate(problem)
+    achieved = explained.solution.total_qoe()
+    best = optimal.total_qoe()
+    print("\n--- exact joint optimum (MILP) ---")
+    print(optimal.summary())
+    gap = 1 - achieved / best if best else 0.0
+    print(
+        f"\nKMR achieved {achieved:.0f} QoE of the provable optimum "
+        f"{best:.0f} (gap {gap:.1%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: orchestrate a three-party meeting with the GSO solver.
+
+This reproduces Table 1 of the paper: three clients A, B, C in a mesh,
+each publishing the 9-level ladder (720p/360p/180p), under three different
+bandwidth situations.  Run it with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Bandwidth, ProblemBuilder, Resolution, paper_ladder, solve
+
+
+def build_meeting(bandwidths):
+    """The Table 1 topology: a full mesh with per-edge resolution caps."""
+    builder = ProblemBuilder()
+    ladder = paper_ladder()
+    for client, (uplink, downlink) in bandwidths.items():
+        builder.add_client(client, Bandwidth(uplink, downlink), ladder)
+    builder.subscribe("A", "B", Resolution.P360)
+    builder.subscribe("A", "C", Resolution.P180)
+    builder.subscribe("B", "A", Resolution.P720)
+    builder.subscribe("B", "C", Resolution.P360)
+    builder.subscribe("C", "B", Resolution.P360)
+    builder.subscribe("C", "A", Resolution.P720)
+    return builder.build()
+
+
+def main():
+    cases = {
+        "case1 (C's downlink limited to 500 kbps)": {
+            "A": (5000, 1400),
+            "B": (5000, 3000),
+            "C": (5000, 500),
+        },
+        "case2 (B's uplink limited to 600 kbps)": {
+            "A": (5000, 5000),
+            "B": (600, 5000),
+            "C": (5000, 5000),
+        },
+        "case3 (B limited both ways)": {
+            "A": (5000, 5000),
+            "B": (600, 700),
+            "C": (5000, 5000),
+        },
+    }
+    for title, bandwidths in cases.items():
+        problem = build_meeting(bandwidths)
+        solution = solve(problem)
+        solution.validate(problem)  # all constraints hold, or it raises
+        print(f"\n--- {title} ---")
+        print(solution.summary())
+        for subscriber in ("A", "B", "C"):
+            received = solution.assignments.get(subscriber, {})
+            parts = ", ".join(
+                f"{pub}@{stream.resolution}/{stream.bitrate_kbps}kbps"
+                for pub, stream in sorted(received.items())
+            )
+            print(f"  {subscriber} receives: {parts or 'nothing'}")
+
+
+if __name__ == "__main__":
+    main()

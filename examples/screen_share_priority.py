@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Advanced stream management: screen share, speaker-first, priorities.
+
+Demonstrates the Sec. 4.4 features:
+
+* a presenter sharing a *screen* next to their camera (two publisher
+  entities drawing on one uplink);
+* a viewer using *speaker-first* dual subscription (a 720p close-up plus
+  a 180p thumbnail of the same speaker, via a virtual publisher);
+* QoE *priority weights* protecting the speaker and the screen share when
+  a viewer's downlink cannot carry everything.
+
+Run it with::
+
+    python examples/screen_share_priority.py
+"""
+
+from repro import Bandwidth, PriorityPolicy, Resolution, paper_ladder, solve
+from repro.core import ProblemBuilder, StreamClass, StreamSpec
+from repro.core.constraints import Problem
+
+
+def screen_ladder():
+    """Screen content: one sharp 720p encoding plus a low fallback."""
+    return [
+        StreamSpec(1200, Resolution.P720, 1100.0),
+        StreamSpec(350, Resolution.P360, 400.0),
+    ]
+
+
+def build(viewer_downlink_kbps: int):
+    builder = ProblemBuilder()
+    ladder = paper_ladder()
+    builder.add_client("speaker", Bandwidth(4000, 2000), ladder)
+    builder.add_client("guest", Bandwidth(3000, 3000), ladder)
+    builder.add_client("viewer", Bandwidth(500, viewer_downlink_kbps))
+    screen = builder.add_screen_share("speaker", screen_ladder())
+    # Speaker-first: close-up + thumbnail of the speaker.
+    builder.subscribe_dual(
+        "viewer",
+        "speaker",
+        primary_max=Resolution.P720,
+        secondary_max=Resolution.P180,
+    )
+    builder.subscribe("viewer", screen, Resolution.P720)
+    builder.subscribe("viewer", "guest", Resolution.P360)
+    builder.subscribe("guest", "speaker", Resolution.P720)
+    builder.subscribe("guest", screen, Resolution.P720)
+    builder.subscribe("speaker", "guest", Resolution.P360)
+    problem = builder.build()
+
+    # Priority weighting: the screen share and active speaker matter most.
+    priority = PriorityPolicy(
+        speaker="speaker",
+        stream_classes={screen: StreamClass.SCREEN},
+    )
+    weighted = priority.apply(problem.feasible_streams)
+    return Problem(
+        feasible_streams=weighted,
+        bandwidth=problem.bandwidth,
+        subscriptions=problem.subscriptions,
+        aliases=problem.aliases,
+        owners=problem.owners,
+    ), screen
+
+
+def main():
+    for downlink in (5000, 2200, 1000):
+        problem, screen = build(downlink)
+        solution = solve(problem)
+        solution.validate(problem)
+        print(f"\n--- viewer downlink = {downlink} kbps ---")
+        received = solution.assignments.get("viewer", {})
+        for source, stream in sorted(received.items()):
+            label = "screen" if source == screen else source
+            print(
+                f"  viewer <- {label:28s} "
+                f"{stream.bitrate_kbps:5d}kbps @ {stream.resolution}"
+            )
+        if not received:
+            print("  viewer receives nothing (downlink too small)")
+        total = sum(s.bitrate_kbps for s in received.values())
+        print(f"  total: {total} kbps (budget {downlink})")
+        uplink_total = solution.uplink_usage_kbps("speaker") + (
+            solution.uplink_usage_kbps(screen)
+        )
+        print(f"  speaker's combined camera+screen uplink: {uplink_total} kbps")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Transient bitrate adaptation under an abrupt bandwidth step (Fig. 7).
+
+One publisher streams to one subscriber; at t=20 s the subscriber's
+downlink is limited to 625 kbps and restored at t=57 s.  The script runs
+the scenario under GSO and non-GSO orchestration and draws the delivered
+bitrate as an ASCII timeline.  Run it with::
+
+    python examples/transient_adaptation.py
+"""
+
+from repro.conference import ClientSpec, MeetingSpec
+from repro.conference.runner import MeetingRunner
+from repro.core.types import Resolution
+from repro.net.trace import BandwidthTrace
+
+LIMIT_KBPS = 625.0
+INITIAL_KBPS = 2000.0
+
+
+def run(mode: str):
+    trace = BandwidthTrace.step_schedule(
+        INITIAL_KBPS, steps=[(20.0, LIMIT_KBPS)], recover_at_s=57.0
+    )
+    spec = MeetingSpec(
+        clients=[
+            ClientSpec("pub", 5000, 5000),
+            ClientSpec(
+                "sub",
+                5000,
+                INITIAL_KBPS,
+                publishes=False,
+                downlink_trace=trace,
+            ),
+        ],
+        subscriptions=[("sub", "pub", Resolution.P720)],
+        mode=mode,
+        duration_s=80.0,
+        warmup_s=5.0,
+    )
+    report = MeetingRunner(spec).run()
+    return report.receive_series["sub"]
+
+
+def draw(series, width_kbps=1600.0, columns=64):
+    """One row per 2 s bucket: delivered bitrate as a bar."""
+    rows = []
+    bucket = {}
+    for t, kbps in series:
+        bucket.setdefault(int(t // 2) * 2, []).append(kbps)
+    for t in sorted(bucket):
+        mean = sum(bucket[t]) / len(bucket[t])
+        bar = "#" * int(columns * min(mean, width_kbps) / width_kbps)
+        marker = ""
+        if t == 20:
+            marker = f"  <- limit to {LIMIT_KBPS:.0f} kbps"
+        elif t == 56:
+            marker = "  <- recover"
+        rows.append(f"  {t:3d}s |{bar:<{columns}}| {mean:6.0f} kbps{marker}")
+    return "\n".join(rows)
+
+
+def main():
+    for mode in ("gso", "nongso"):
+        print(f"\n=== {mode.upper()} (downlink limited to {LIMIT_KBPS:.0f} kbps at 20s) ===")
+        print(draw(run(mode)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""GSO-Simulcast: global stream orchestration for simulcast video
+conferencing — a full reproduction of the SIGCOMM 2022 paper.
+
+Quick start::
+
+    from repro import Bandwidth, ProblemBuilder, Resolution, paper_ladder, solve
+
+    builder = ProblemBuilder()
+    builder.add_client("A", Bandwidth(5000, 1400), paper_ladder())
+    builder.add_client("B", Bandwidth(5000, 3000), paper_ladder())
+    builder.subscribe("A", "B", Resolution.P360)
+    builder.subscribe("B", "A", Resolution.P720)
+    solution = solve(builder.build())
+    print(solution.summary())
+
+Package layout (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the GSO control algorithm (Knapsack-Merge-Reduction);
+* :mod:`repro.net`, :mod:`repro.rtp`, :mod:`repro.sdp`, :mod:`repro.cc`,
+  :mod:`repro.media` — the substrates (simulation, wire formats,
+  signaling, congestion control, media plane);
+* :mod:`repro.control`, :mod:`repro.client` — control and user planes;
+* :mod:`repro.baselines` — non-GSO simulcast and competitor models;
+* :mod:`repro.conference` — end-to-end meeting simulations;
+* :mod:`repro.deploy` — fleet-scale deployment simulation.
+"""
+
+from .core import (
+    Bandwidth,
+    GsoSolver,
+    PriorityPolicy,
+    Problem,
+    ProblemBuilder,
+    Resolution,
+    Solution,
+    SolverConfig,
+    StreamSpec,
+    Subscription,
+    UpgradeDamper,
+    coarse_ladder,
+    make_ladder,
+    paper_ladder,
+    solve,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bandwidth",
+    "GsoSolver",
+    "PriorityPolicy",
+    "Problem",
+    "ProblemBuilder",
+    "Resolution",
+    "Solution",
+    "SolverConfig",
+    "StreamSpec",
+    "Subscription",
+    "UpgradeDamper",
+    "__version__",
+    "coarse_ladder",
+    "make_ladder",
+    "paper_ladder",
+    "solve",
+]

@@ -1,0 +1,10 @@
+"""Comparators: classic simulcast and the Fig. 8 competitor archetypes."""
+
+from .competitors import Competitor1Orchestrator, Competitor2Orchestrator
+from .nongso import NonGsoOrchestrator
+
+__all__ = [
+    "Competitor1Orchestrator",
+    "Competitor2Orchestrator",
+    "NonGsoOrchestrator",
+]

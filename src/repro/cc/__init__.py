@@ -1,0 +1,22 @@
+"""Congestion-control substrate: GCC-like estimation, TWCC, pacing, reports."""
+
+from .gcc import FeedbackSample, GccConfig, GccEstimator, TrendlineFilter
+from .pacer import Pacer, PacerConfig
+from .receiver_estimate import ReceiverEstimator, ReceiverEstimatorConfig
+from .reporting import ReportScheduler, ReportSchedulerConfig
+from .twcc import TwccReceiver, TwccSender
+
+__all__ = [
+    "FeedbackSample",
+    "GccConfig",
+    "GccEstimator",
+    "Pacer",
+    "PacerConfig",
+    "ReceiverEstimator",
+    "ReceiverEstimatorConfig",
+    "ReportScheduler",
+    "ReportSchedulerConfig",
+    "TrendlineFilter",
+    "TwccReceiver",
+    "TwccSender",
+]

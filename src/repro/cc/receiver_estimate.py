@@ -1,0 +1,83 @@
+"""Receiver-side bandwidth estimation (the classic REMB-style estimator).
+
+The paper argues sender-side estimation "offers better accuracy than
+receiver-side estimation" (Sec. 4.2); the receiver-side variant is what
+the receiver-driven competitor archetype runs.  It is intentionally the
+cruder mechanism the industry used before TWCC:
+
+* the estimate ramps multiplicatively over the measured incoming rate
+  while loss is low (a receiver can only *see* traffic that was sent, so
+  the estimate trails actual capacity);
+* loss above a threshold multiplicatively decreases it;
+* no delay-gradient signal at all — congestion is only visible once it
+  turns into loss.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+
+@dataclass
+class ReceiverEstimatorConfig:
+    """Tuning of the receiver-side estimator."""
+
+    min_rate_kbps: float = 100.0
+    max_rate_kbps: float = 10_000.0
+    initial_rate_kbps: float = 800.0
+    #: Estimate ceiling as a multiple of the measured incoming rate.
+    incoming_multiple: float = 1.6
+    #: Multiplicative ramp per update when healthy.
+    ramp: float = 1.05
+    #: Loss fraction above which the estimate backs off.
+    loss_high: float = 0.10
+    #: Incoming-rate measurement window.
+    window_s: float = 1.0
+
+
+class ReceiverEstimator:
+    """Estimates the local downlink from incoming bytes + observed loss."""
+
+    def __init__(self, config: Optional[ReceiverEstimatorConfig] = None) -> None:
+        self.config = config or ReceiverEstimatorConfig()
+        self._rate_kbps = self.config.initial_rate_kbps
+        self._arrivals: Deque[Tuple[float, int]] = deque()
+
+    def on_packet(self, size_bytes: int, now_s: float) -> None:
+        """Record one arriving packet."""
+        self._arrivals.append((now_s, size_bytes))
+        cutoff = now_s - self.config.window_s
+        while self._arrivals and self._arrivals[0][0] < cutoff:
+            self._arrivals.popleft()
+
+    def incoming_rate_kbps(self, now_s: float) -> float:
+        """Measured incoming rate over the trailing window."""
+        cutoff = now_s - self.config.window_s
+        total = sum(b for t, b in self._arrivals if t >= cutoff)
+        return total * 8.0 / self.config.window_s / 1000.0
+
+    def update(self, loss_fraction: float, now_s: float) -> float:
+        """Periodic update; returns the new estimate in kbps."""
+        if not 0 <= loss_fraction <= 1:
+            raise ValueError(f"loss fraction out of range: {loss_fraction}")
+        cfg = self.config
+        incoming = self.incoming_rate_kbps(now_s)
+        if loss_fraction > cfg.loss_high:
+            self._rate_kbps *= 1 - 0.5 * loss_fraction
+        else:
+            # A receiver can only validate what arrives: ramp, bounded by a
+            # multiple of the incoming rate.
+            ramped = self._rate_kbps * cfg.ramp
+            if incoming > 0:
+                ramped = min(ramped, cfg.incoming_multiple * incoming)
+            self._rate_kbps = max(self._rate_kbps * 0.999, ramped)
+        self._rate_kbps = min(
+            max(self._rate_kbps, cfg.min_rate_kbps), cfg.max_rate_kbps
+        )
+        return self._rate_kbps
+
+    def estimate_kbps(self) -> float:
+        """The current bandwidth estimate in kbps."""
+        return self._rate_kbps

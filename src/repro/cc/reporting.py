@@ -1,0 +1,85 @@
+"""Bandwidth-report scheduling: time trigger + event trigger (Sec. 7).
+
+"It is critical to control bandwidth reporting message frequency.
+Otherwise, we might overwhelm the conference node.  We implement both a
+time trigger and an event trigger.  The time trigger periodically updates
+the measurements while the event trigger is fired to update bandwidth only
+if its change is significant."
+
+:class:`ReportScheduler` decides, for each new measurement, whether a SEMB
+report should be emitted now.  It is clock-agnostic (times are passed in)
+so both the packet-level simulation and the fleet simulation reuse it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class ReportSchedulerConfig:
+    """Report-rate limiting knobs."""
+
+    #: Periodic (time-trigger) reporting interval.
+    period_s: float = 1.0
+    #: Relative change that fires the event trigger.
+    significant_change: float = 0.10
+    #: Hard floor between two reports, whatever the trigger.
+    min_spacing_s: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0 or self.min_spacing_s < 0:
+            raise ValueError("invalid scheduler periods")
+        if self.significant_change <= 0:
+            raise ValueError("significant_change must be positive")
+        if self.min_spacing_s > self.period_s:
+            raise ValueError("min spacing cannot exceed the period")
+
+
+class ReportScheduler:
+    """Per-link decision logic for emitting bandwidth reports."""
+
+    def __init__(self, config: Optional[ReportSchedulerConfig] = None) -> None:
+        self.config = config or ReportSchedulerConfig()
+        self._last_report_time: Optional[float] = None
+        self._last_reported_kbps: Optional[float] = None
+        self.reports_sent = 0
+        self.reports_suppressed = 0
+
+    def should_report(self, now_s: float, measured_kbps: float) -> bool:
+        """Decide whether to report this measurement.
+
+        Call once per new measurement; when True is returned the caller
+        must actually send the report (the scheduler records it).
+        """
+        cfg = self.config
+        if self._last_report_time is None:
+            self._record(now_s, measured_kbps)
+            return True
+        elapsed = now_s - self._last_report_time
+        if elapsed < cfg.min_spacing_s:
+            self.reports_suppressed += 1
+            return False
+        if elapsed >= cfg.period_s:
+            self._record(now_s, measured_kbps)
+            return True
+        # Event trigger: significant relative change since the last report.
+        assert self._last_reported_kbps is not None
+        baseline = max(self._last_reported_kbps, 1e-9)
+        change = abs(measured_kbps - baseline) / baseline
+        if change >= cfg.significant_change:
+            self._record(now_s, measured_kbps)
+            return True
+        self.reports_suppressed += 1
+        return False
+
+    def _record(self, now_s: float, kbps: float) -> None:
+        self._last_report_time = now_s
+        self._last_reported_kbps = kbps
+        self.reports_sent += 1
+
+    @property
+    def last_reported_kbps(self) -> Optional[float]:
+        """The most recently reported value, or None."""
+        return self._last_reported_kbps

@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the library's main entry points:
+
+* ``solve`` — orchestrate a meeting described as ``id:up:down`` client
+  specs and print the stream plan (the core algorithm, no simulation);
+* ``meeting`` — run a packet-level meeting simulation and print the QoE
+  report (optionally comparing two schemes);
+* ``rollout`` — run the fleet/deployment simulation for a date range and
+  print daily metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as dt
+import sys
+from typing import List, Optional, Sequence
+
+from .conference import ClientSpec, MeetingSpec, run_meeting
+from .core import Bandwidth, GsoSolver, Resolution, SolverConfig, make_ladder
+from .core.constraints import Problem, Subscription
+
+
+def _parse_client(text: str) -> ClientSpec:
+    """Parse ``id:uplink_kbps:downlink_kbps[:loss[:jitter_ms]]``."""
+    parts = text.split(":")
+    if len(parts) < 3:
+        raise argparse.ArgumentTypeError(
+            f"client spec {text!r} must be id:up:down[:loss[:jitter_ms]]"
+        )
+    try:
+        spec = ClientSpec(
+            client_id=parts[0],
+            uplink_kbps=float(parts[1]),
+            downlink_kbps=float(parts[2]),
+            loss_rate=float(parts[3]) if len(parts) > 3 else 0.0,
+            jitter_ms=float(parts[4]) if len(parts) > 4 else 0.0,
+        )
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad client spec {text!r}: {exc}")
+    return spec
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    ladder = make_ladder(levels_per_resolution=args.levels)
+    clients = {c.client_id: c for c in args.clients}
+    if len(clients) < 2:
+        print("need at least two clients", file=sys.stderr)
+        return 2
+    subscriptions = [
+        Subscription(a, b, Resolution.P720)
+        for a in clients
+        for b in clients
+        if a != b
+    ]
+    problem = Problem(
+        feasible_streams={c: ladder for c in clients},
+        bandwidth={
+            c.client_id: Bandwidth(
+                int(c.uplink_kbps), int(c.downlink_kbps)
+            )
+            for c in clients.values()
+        },
+        subscriptions=subscriptions,
+    )
+    solver = GsoSolver(SolverConfig(granularity_kbps=args.granularity))
+    solution, stats = solver.solve_with_stats(problem)
+    solution.validate(problem)
+    print(solution.summary())
+    print(
+        f"({stats.iterations} iteration(s), "
+        f"{stats.wall_time_s * 1000:.1f} ms)"
+    )
+    return 0
+
+
+def _cmd_meeting(args: argparse.Namespace) -> int:
+    for mode in args.modes:
+        spec = MeetingSpec(
+            clients=list(args.clients),
+            mode=mode,
+            duration_s=args.duration,
+            warmup_s=args.warmup,
+            seed=args.seed,
+        )
+        report = run_meeting(spec)
+        print(f"\n=== {mode} ===")
+        print(
+            f"framerate={report.mean_framerate():.1f}fps  "
+            f"video stall={report.mean_video_stall():.1%}  "
+            f"quality={report.mean_quality():.1f}  "
+            f"voice stall={report.mean_voice_stall():.1%}"
+        )
+        for view in report.views:
+            print(
+                f"  {view.subscriber} <- {view.publisher}: "
+                f"{view.framerate:.1f}fps  stall={view.stall_rate:.1%}  "
+                f"{view.playback.rendered_kbps:.0f}kbps @ {view.top_resolution}"
+            )
+    return 0
+
+
+def _cmd_rollout(args: argparse.Namespace) -> int:
+    from .deploy import DeploymentSimulation
+
+    sim = DeploymentSimulation(conferences_per_day=args.conferences)
+    day = dt.date.fromisoformat(args.start)
+    end = dt.date.fromisoformat(args.end)
+    if end < day:
+        print("end date precedes start date", file=sys.stderr)
+        return 2
+    print("date        coverage  video-stall  voice-stall  framerate")
+    while day <= end:
+        p = sim.run_day(day)
+        print(
+            f"{p.day}  {p.coverage:8.2f}  {p.video_stall:11.3f}  "
+            f"{p.voice_stall:11.3f}  {p.framerate:9.1f}"
+        )
+        day += dt.timedelta(days=args.stride)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GSO-Simulcast reproduction: solve, simulate, roll out.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser(
+        "solve", help="orchestrate a mesh meeting (algorithm only)"
+    )
+    solve.add_argument(
+        "clients",
+        nargs="+",
+        type=_parse_client,
+        help="client specs: id:up_kbps:down_kbps",
+    )
+    solve.add_argument("--levels", type=int, default=5)
+    solve.add_argument("--granularity", type=int, default=10)
+    solve.set_defaults(func=_cmd_solve)
+
+    meeting = sub.add_parser(
+        "meeting", help="run a packet-level meeting simulation"
+    )
+    meeting.add_argument(
+        "clients",
+        nargs="+",
+        type=_parse_client,
+        help="client specs: id:up:down[:loss[:jitter_ms]]",
+    )
+    meeting.add_argument(
+        "--modes",
+        nargs="+",
+        default=["gso"],
+        choices=["gso", "nongso", "competitor1", "competitor2"],
+    )
+    meeting.add_argument("--duration", type=float, default=30.0)
+    meeting.add_argument("--warmup", type=float, default=10.0)
+    meeting.add_argument("--seed", type=int, default=1)
+    meeting.set_defaults(func=_cmd_meeting)
+
+    rollout = sub.add_parser(
+        "rollout", help="run the fleet/deployment simulation"
+    )
+    rollout.add_argument("--start", default="2021-10-01")
+    rollout.add_argument("--end", default="2022-01-14")
+    rollout.add_argument("--stride", type=int, default=7)
+    rollout.add_argument("--conferences", type=int, default=100)
+    rollout.set_defaults(func=_cmd_rollout)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""User plane: conference clients and the baseline template policies."""
+
+from .client import ClientConfig, ConferenceClient
+from .policies import (
+    COARSE_LAYERS,
+    LARGE_MEETING_RULES,
+    LocalDownlinkSwitcher,
+    SMALL_MEETING_RULES,
+    TemplateRule,
+    TemplateUplinkPolicy,
+)
+
+__all__ = [
+    "COARSE_LAYERS",
+    "ClientConfig",
+    "ConferenceClient",
+    "LARGE_MEETING_RULES",
+    "LocalDownlinkSwitcher",
+    "SMALL_MEETING_RULES",
+    "TemplateRule",
+    "TemplateUplinkPolicy",
+]

@@ -1,0 +1,27 @@
+"""End-to-end meeting simulation harness."""
+
+from .builder import ClientSpec, MeetingSpec, full_mesh_meeting, MODES
+from .metrics import MeetingReport, ViewReport, vmaf_proxy
+from .runner import MeetingRunner, run_meeting
+from .scenarios import (
+    SlowLinkCase,
+    affected_views,
+    slow_link_cases,
+    slow_link_meeting,
+)
+
+__all__ = [
+    "ClientSpec",
+    "SlowLinkCase",
+    "affected_views",
+    "slow_link_cases",
+    "slow_link_meeting",
+    "MODES",
+    "MeetingReport",
+    "MeetingRunner",
+    "MeetingSpec",
+    "ViewReport",
+    "full_mesh_meeting",
+    "run_meeting",
+    "vmaf_proxy",
+]

@@ -1,0 +1,27 @@
+"""Control plane: conference node, GSO controller runtime, feedback, failover."""
+
+from .conference_node import (
+    ConferenceNode,
+    ConferenceNodeConfig,
+    ParticipantState,
+)
+from .failover import (
+    StreamLiveness,
+    SubscriptionWatchdog,
+    single_stream_fallback,
+)
+from .feedback import FeedbackExecutor, FeedbackStats
+from .gso_controller import ControllerConfig, GsoControllerRuntime
+
+__all__ = [
+    "ConferenceNode",
+    "ConferenceNodeConfig",
+    "ControllerConfig",
+    "FeedbackExecutor",
+    "FeedbackStats",
+    "GsoControllerRuntime",
+    "ParticipantState",
+    "StreamLiveness",
+    "SubscriptionWatchdog",
+    "single_stream_fallback",
+]

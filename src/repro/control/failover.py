@@ -1,0 +1,180 @@
+"""Design for failure (Sec. 7).
+
+Two mechanisms keep a meeting alive when things break:
+
+* **server-side fallback** — "when an exception is raised, GSO-Simulcast
+  would ask clients to fall back to single stream configuration so that
+  the service could continue, however, at the cost of reduced QoE."
+  :func:`single_stream_fallback` builds that degenerate solution directly
+  from the problem, without running the solver.
+
+* **client-side downgrade** — "while a server instructs a client to send
+  multiple streams, however, only a low bitrate stream is received.  In
+  such a scenario, GSO-Simulcast implements a downgrade logic that
+  automatically switches the high-bitrate subscription to a low-bitrate
+  subscription."  :class:`SubscriptionWatchdog` tracks per-stream packet
+  liveness at a subscriber and reports which subscriptions should be
+  switched down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from ..core.constraints import Problem
+from ..core.solution import PolicyEntry, Solution
+from ..core.types import ClientId, Resolution, StreamSpec
+
+
+def single_stream_fallback(problem: Problem) -> Solution:
+    """The degenerate safe configuration: one small stream per publisher.
+
+    Every publisher keeps only its *lowest* bitrate stream; every
+    subscriber of that publisher receives it (capped by the subscription
+    resolution; edges whose cap excludes the stream get nothing).  The
+    result always satisfies the codec constraints and, because the chosen
+    streams are minimal, has the best possible chance of satisfying the
+    network constraints; downlink-overflowing assignments are dropped
+    smallest-publisher-last to restore feasibility.
+    """
+    policies: Dict[ClientId, Dict[Resolution, PolicyEntry]] = {}
+    assignments: Dict[ClientId, Dict[ClientId, StreamSpec]] = {}
+    audiences: Dict[ClientId, Set[ClientId]] = {}
+    chosen: Dict[ClientId, StreamSpec] = {}
+    for pub in problem.publishers:
+        streams = problem.feasible_streams[pub]
+        if not streams:
+            continue
+        smallest = min(streams, key=lambda s: s.bitrate_kbps)
+        if smallest.bitrate_kbps > problem.uplink_budget(problem.owner(pub)):
+            continue
+        chosen[pub] = smallest
+    for edge in problem.subscriptions:
+        pub = problem.canonical(edge.publisher)
+        stream = chosen.get(pub)
+        if stream is None or stream.resolution > edge.max_resolution:
+            continue
+        current = assignments.setdefault(edge.subscriber, {})
+        # Respect the downlink budget: add publishers until it is full.
+        used = sum(s.bitrate_kbps for s in current.values())
+        if used + stream.bitrate_kbps > problem.downlink_budget(edge.subscriber):
+            continue
+        current[edge.publisher] = stream
+        audiences.setdefault(pub, set()).add(edge.subscriber)
+    for pub, audience in audiences.items():
+        stream = chosen[pub]
+        policies[pub] = {
+            stream.resolution: PolicyEntry(
+                stream=stream, audience=frozenset(audience)
+            )
+        }
+    # Uplink check per owner: drop publishers whose owner would overflow.
+    by_owner: Dict[ClientId, List[ClientId]] = {}
+    for pub in policies:
+        by_owner.setdefault(problem.owner(pub), []).append(pub)
+    for owner, pubs in by_owner.items():
+        total = sum(
+            e.bitrate_kbps
+            for pub in pubs
+            for e in policies[pub].values()
+        )
+        budget = problem.uplink_budget(owner)
+        for pub in sorted(
+            pubs,
+            key=lambda p: -next(iter(policies[p].values())).bitrate_kbps,
+        ):
+            if total <= budget:
+                break
+            entry = next(iter(policies[pub].values()))
+            total -= entry.bitrate_kbps
+            for member in entry.audience:
+                for literal in [
+                    lp
+                    for lp, s in assignments.get(member, {}).items()
+                    if problem.canonical(lp) == pub
+                ]:
+                    del assignments[member][literal]
+            del policies[pub]
+    return Solution(policies=policies, assignments=assignments, iterations=0)
+
+
+@dataclass
+class StreamLiveness:
+    """Packet-liveness record of one received stream."""
+
+    last_packet_s: float = -1.0
+    packets: int = 0
+
+
+class SubscriptionWatchdog:
+    """Client-side downgrade detector.
+
+    Args:
+        stale_after_s: a subscribed stream with no packets for this long,
+            while another (lower) stream of the same publisher IS flowing,
+            triggers a downgrade recommendation.
+    """
+
+    def __init__(self, stale_after_s: float = 2.0) -> None:
+        if stale_after_s <= 0:
+            raise ValueError("stale_after_s must be positive")
+        self.stale_after_s = stale_after_s
+        #: (publisher, resolution) -> liveness.
+        self._streams: Dict[Tuple[ClientId, Resolution], StreamLiveness] = {}
+
+    def on_packet(
+        self, publisher: ClientId, resolution: Resolution, now_s: float
+    ) -> None:
+        """Record one arriving packet."""
+        record = self._streams.setdefault(
+            (publisher, resolution), StreamLiveness()
+        )
+        record.last_packet_s = now_s
+        record.packets += 1
+
+    def stale_subscriptions(
+        self, expected: Mapping[Tuple[ClientId, Resolution], bool], now_s: float
+    ) -> List[Tuple[ClientId, Resolution]]:
+        """Which expected (publisher, resolution) streams have gone stale.
+
+        Args:
+            expected: the streams this subscriber should currently receive.
+            now_s: current time.
+
+        Returns:
+            Stale keys: streams expected but silent for ``stale_after_s``
+            while at least one other stream of the same publisher flows.
+        """
+        stale: List[Tuple[ClientId, Resolution]] = []
+        for key in expected:
+            publisher, resolution = key
+            record = self._streams.get(key)
+            silent = (
+                record is None
+                or now_s - record.last_packet_s > self.stale_after_s
+            )
+            if not silent:
+                continue
+            sibling_alive = any(
+                other_pub == publisher
+                and other_res != resolution
+                and now_s - other.last_packet_s <= self.stale_after_s
+                for (other_pub, other_res), other in self._streams.items()
+            )
+            if sibling_alive:
+                stale.append(key)
+        return stale
+
+    def downgrade_target(
+        self, publisher: ClientId, below: Resolution, now_s: float
+    ) -> Optional[Resolution]:
+        """The best live lower-resolution stream of a publisher, if any."""
+        candidates = [
+            res
+            for (pub, res), record in self._streams.items()
+            if pub == publisher
+            and res < below
+            and now_s - record.last_packet_s <= self.stale_after_s
+        ]
+        return max(candidates) if candidates else None

@@ -1,0 +1,129 @@
+"""Brute-force solvers: the Fig. 6 comparator and a joint test oracle.
+
+The paper benchmarks its control algorithm against "the brute-force
+algorithm" on computation time and *QoE optimality* — the ratio of the Eq. 1
+objective achieved by GSO vs. brute force.  Two flavours live here:
+
+* :func:`solve_step1_bruteforce` — exact enumeration of each subscriber's
+  multi-choice knapsack (Eq. 1-4).  Runtime is exponential in the number of
+  followed publishers and bitrate levels; this is the comparator whose
+  running time Fig. 6a/6b plots.
+* :func:`solve_joint_bruteforce` — exact enumeration of the *entire* joint
+  problem (downlink + codec + uplink constraints simultaneously).  Doubly
+  exponential and only usable on toy instances; it is the ground-truth
+  oracle the integration tests validate the KMR solver against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .constraints import Problem, Subscription
+from .knapsack import Requests, knapsack_step
+from .solution import PolicyEntry, Solution
+from .types import ClientId, Resolution, StreamSpec
+
+
+def solve_step1_bruteforce(problem: Problem) -> Requests:
+    """Solve Step 1 (Eq. 1-4) for every subscriber by exact enumeration."""
+    return knapsack_step(problem, exhaustive=True)
+
+
+def step1_objective(requests: Requests) -> float:
+    """The Eq. 1 objective summed over subscribers (QoE-optimality numerator)."""
+    return sum(
+        stream.qoe
+        for per_pub in requests.values()
+        for stream in per_pub.values()
+    )
+
+
+def _edge_options(
+    problem: Problem, edge: Subscription
+) -> List[Optional[StreamSpec]]:
+    """All choices for one subscription edge: any feasible stream, or skip."""
+    options: List[Optional[StreamSpec]] = [None]
+    options.extend(problem.feasible_for_edge(edge))
+    return options
+
+
+def _joint_feasible(
+    problem: Problem,
+    edges: Sequence[Subscription],
+    combo: Sequence[Optional[StreamSpec]],
+) -> Optional[float]:
+    """Check a full edge assignment against all constraint families.
+
+    Returns the total QoE if feasible, else ``None``.  Publisher-side rules:
+    all streams taken from one publisher at one resolution must be the *same*
+    bitrate (single encoding per resolution), and the distinct encodings of a
+    publisher must fit its uplink.
+    """
+    downlink: Dict[ClientId, int] = {}
+    published: Dict[ClientId, Dict[Resolution, int]] = {}
+    total_qoe = 0.0
+    for edge, stream in zip(edges, combo):
+        if stream is None:
+            continue
+        downlink[edge.subscriber] = (
+            downlink.get(edge.subscriber, 0) + stream.bitrate_kbps
+        )
+        if downlink[edge.subscriber] > problem.downlink_budget(edge.subscriber):
+            return None
+        per_res = published.setdefault(edge.publisher, {})
+        existing = per_res.get(stream.resolution)
+        if existing is not None and existing != stream.bitrate_kbps:
+            return None  # two different encodings at one resolution
+        per_res[stream.resolution] = stream.bitrate_kbps
+        total_qoe += stream.qoe
+    for pub, per_res in published.items():
+        if sum(per_res.values()) > problem.uplink_budget(pub):
+            return None
+    return total_qoe
+
+
+def solve_joint_bruteforce(problem: Problem) -> Solution:
+    """Exactly solve the whole orchestration problem by enumeration.
+
+    Complexity is the product over all subscription edges of
+    ``|S_ii'| + 1`` — use only on toy instances (<= ~6 edges with short
+    ladders).  The returned solution validates against the problem.
+    """
+    edges: List[Subscription] = sorted(
+        problem.subscriptions, key=lambda e: (e.subscriber, e.publisher)
+    )
+    option_lists = [_edge_options(problem, e) for e in edges]
+    n_combos = 1
+    for opts in option_lists:
+        n_combos *= len(opts)
+    if n_combos > 5_000_000:
+        raise ValueError(
+            f"joint brute force would enumerate {n_combos} combinations; "
+            f"instance too large"
+        )
+    best_qoe = -1.0
+    best_combo: Optional[Tuple[Optional[StreamSpec], ...]] = None
+    for combo in itertools.product(*option_lists):
+        qoe = _joint_feasible(problem, edges, combo)
+        if qoe is not None and qoe > best_qoe:
+            best_qoe = qoe
+            best_combo = combo
+    assert best_combo is not None, "empty assignment is always feasible"
+
+    policies: Dict[ClientId, Dict[Resolution, PolicyEntry]] = {}
+    assignments: Dict[ClientId, Dict[ClientId, StreamSpec]] = {}
+    audience: Dict[Tuple[ClientId, Resolution], set] = {}
+    chosen: Dict[Tuple[ClientId, Resolution], StreamSpec] = {}
+    for edge, stream in zip(edges, best_combo):
+        if stream is None:
+            continue
+        key = (edge.publisher, stream.resolution)
+        chosen[key] = stream
+        audience.setdefault(key, set()).add(edge.subscriber)
+        assignments.setdefault(edge.subscriber, {})[edge.publisher] = stream
+    for (pub, res), stream in chosen.items():
+        policies.setdefault(pub, {})[res] = PolicyEntry(
+            stream=stream, audience=frozenset(audience[(pub, res)])
+        )
+    return Solution(policies=policies, assignments=assignments, iterations=1)

@@ -1,0 +1,290 @@
+"""Constraint model for the global stream orchestration problem.
+
+Sec. 4.1 defines three constraint families the controller must satisfy
+simultaneously:
+
+* **network bandwidth** — per client, the sum of published stream bitrates
+  must not exceed the uplink ``B_u_i``; the sum of subscribed bitrates must
+  not exceed the downlink ``B_d_i``;
+* **codec capability** — a publisher's concurrently sent streams must have
+  pairwise distinct resolutions (``Res_i(s1) != Res_i(s2)``);
+* **subscription** — subscriber ``i'`` follows publishers ``N_i'`` with a
+  per-edge maximum resolution ``R_ii'``, and takes at most one stream per
+  followed publisher.
+
+Two indirections support Sec. 4.4's advanced features:
+
+* **aliases** — a *virtual publisher* ``X'`` is a separate publisher during
+  Step 1 (so a subscriber may take a second stream from the same source,
+  e.g. speaker-first thumbnail + close-up) but is merged back into ``X`` at
+  the beginning of Step 2.  ``aliases[X'] == X``.
+* **owners** — several publisher entities can belong to one physical client
+  (a camera source and a screen-share source have different SSRCs and are
+  never merged, but both draw on the same client uplink).
+  ``owners[X_screen] == X``.
+
+This module bundles those inputs into a single :class:`Problem` instance
+consumed by the solver, plus validation helpers used by both the tests and
+the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .types import (
+    ClientId,
+    Resolution,
+    StreamSpec,
+    streams_up_to_resolution,
+    validate_feasible_set,
+)
+
+
+@dataclass(frozen=True)
+class Bandwidth:
+    """Uplink/downlink bandwidth constraints of one client, in kbps.
+
+    ``audio_protection_kbps`` is subtracted from both directions before the
+    solver sees them — the Sec. 7 lesson: *"when we obtain a bandwidth
+    measurement, we subtract a 'protection' bandwidth from it to further
+    avoid video streams eating the audio stream's bandwidth."*
+    """
+
+    uplink_kbps: int
+    downlink_kbps: int
+    audio_protection_kbps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.uplink_kbps < 0 or self.downlink_kbps < 0:
+            raise ValueError("bandwidths must be non-negative")
+        if self.audio_protection_kbps < 0:
+            raise ValueError("audio protection must be non-negative")
+
+    @property
+    def effective_uplink_kbps(self) -> int:
+        """Uplink budget available to video after audio protection."""
+        return max(0, self.uplink_kbps - self.audio_protection_kbps)
+
+    @property
+    def effective_downlink_kbps(self) -> int:
+        """Downlink budget available to video after audio protection."""
+        return max(0, self.downlink_kbps - self.audio_protection_kbps)
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One directed subscription edge: ``subscriber`` follows ``publisher``.
+
+    Attributes:
+        subscriber: the receiving client (``i'``).
+        publisher: the sending entity (``i``) — may be a real publisher, a
+            virtual publisher alias, or a secondary source like a screen
+            share.
+        max_resolution: ``R_ii'``, the maximum resolution the subscriber is
+            willing to accept from this publisher (e.g. a thumbnail tile
+            asks for 180p, the active-speaker tile for 720p).
+    """
+
+    subscriber: ClientId
+    publisher: ClientId
+    max_resolution: Resolution = Resolution.P720
+
+    def __post_init__(self) -> None:
+        if self.subscriber == self.publisher:
+            raise ValueError(
+                f"client {self.subscriber!r} cannot subscribe to itself"
+            )
+
+
+class Problem:
+    """One complete instance of the global orchestration problem.
+
+    Args:
+        feasible_streams: per *canonical* publisher entity, the feasible
+            stream set ``S_i`` (validated: unique bitrates, QoE monotone
+            within a resolution).  Virtual publishers (aliases) must NOT
+            appear here — they share their target's set.
+        bandwidth: per physical client, the bandwidth constraints.
+        subscriptions: the subscription edges.  Duplicate
+            (subscriber, publisher) pairs are rejected — multi-stream
+            subscription is expressed through aliases (see
+            :mod:`repro.core.virtual`).
+        aliases: virtual publisher id -> canonical publisher id.  Virtual
+            publishers exist only during Step 1; they are merged into their
+            canonical target at Step 2.
+        owners: publisher entity id -> owning client id, for entities (e.g.
+            screen-share sources) that are not clients themselves.  Uplink
+            budgets are enforced per owner.  Identity by default.
+
+    Raises:
+        ValueError: on dangling references or duplicate edges.
+    """
+
+    def __init__(
+        self,
+        feasible_streams: Mapping[ClientId, Sequence[StreamSpec]],
+        bandwidth: Mapping[ClientId, Bandwidth],
+        subscriptions: Iterable[Subscription],
+        aliases: Optional[Mapping[ClientId, ClientId]] = None,
+        owners: Optional[Mapping[ClientId, ClientId]] = None,
+    ) -> None:
+        self.feasible_streams: Dict[ClientId, List[StreamSpec]] = {
+            pub: validate_feasible_set(streams)
+            for pub, streams in feasible_streams.items()
+        }
+        self.bandwidth: Dict[ClientId, Bandwidth] = dict(bandwidth)
+        self.subscriptions: List[Subscription] = list(subscriptions)
+        self.aliases: Dict[ClientId, ClientId] = dict(aliases or {})
+        self._owners: Dict[ClientId, ClientId] = dict(owners or {})
+
+        for virtual, target in self.aliases.items():
+            if virtual in self.feasible_streams:
+                raise ValueError(
+                    f"alias {virtual!r} must not have its own feasible set"
+                )
+            if target not in self.feasible_streams:
+                raise ValueError(
+                    f"alias {virtual!r} targets unknown publisher {target!r}"
+                )
+        for entity, owner in self._owners.items():
+            if owner not in self.bandwidth:
+                raise ValueError(
+                    f"entity {entity!r} owned by {owner!r}, which has no "
+                    f"bandwidth entry"
+                )
+
+        seen_edges: Set[Tuple[ClientId, ClientId]] = set()
+        for edge in self.subscriptions:
+            key = (edge.subscriber, edge.publisher)
+            if key in seen_edges:
+                raise ValueError(
+                    f"duplicate subscription {edge.subscriber!r} -> "
+                    f"{edge.publisher!r}; use virtual publishers for "
+                    f"multi-stream subscription"
+                )
+            seen_edges.add(key)
+            if self.canonical(edge.publisher) not in self.feasible_streams:
+                raise ValueError(
+                    f"subscription to unknown publisher {edge.publisher!r}"
+                )
+            if edge.subscriber not in self.bandwidth:
+                raise ValueError(
+                    f"subscriber {edge.subscriber!r} has no bandwidth entry"
+                )
+            if edge.subscriber == self.canonical(edge.publisher):
+                raise ValueError(
+                    f"{edge.subscriber!r} subscribes to its own alias "
+                    f"{edge.publisher!r}"
+                )
+        for pub in self.feasible_streams:
+            if self.owner(pub) not in self.bandwidth:
+                raise ValueError(f"publisher {pub!r} has no bandwidth entry")
+
+        # N_i' : publishers followed by each subscriber.
+        self._followed: Dict[ClientId, List[Subscription]] = {}
+        # M_i  : subscribers served by each publisher (canonical keys).
+        self._served: Dict[ClientId, List[Subscription]] = {}
+        for edge in self.subscriptions:
+            self._followed.setdefault(edge.subscriber, []).append(edge)
+            self._served.setdefault(self.canonical(edge.publisher), []).append(edge)
+
+    # ------------------------------------------------------------------ #
+    # Identity resolution
+    # ------------------------------------------------------------------ #
+
+    def canonical(self, publisher: ClientId) -> ClientId:
+        """Resolve a (possibly virtual) publisher id to its canonical id."""
+        return self.aliases.get(publisher, publisher)
+
+    @property
+    def owners(self) -> Dict[ClientId, ClientId]:
+        """The explicit entity -> owning-client map (copy)."""
+        return dict(self._owners)
+
+    def owner(self, publisher: ClientId) -> ClientId:
+        """The physical client whose uplink a publisher entity consumes."""
+        canonical = self.canonical(publisher)
+        return self._owners.get(canonical, canonical)
+
+    def entities_of(self, client: ClientId) -> List[ClientId]:
+        """All canonical publisher entities owned by one client, sorted."""
+        return sorted(
+            pub for pub in self.feasible_streams if self.owner(pub) == client
+        )
+
+    # ------------------------------------------------------------------ #
+    # Topology accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def clients(self) -> List[ClientId]:
+        """All physical clients referenced by the problem (sorted)."""
+        ids = set(self.bandwidth)
+        for pub in self.feasible_streams:
+            ids.add(self.owner(pub))
+        for e in self.subscriptions:
+            ids.add(e.subscriber)
+        return sorted(ids)
+
+    @property
+    def publishers(self) -> List[ClientId]:
+        """Canonical publisher entities with a non-empty feasible set."""
+        return sorted(p for p, s in self.feasible_streams.items() if s)
+
+    @property
+    def subscribers(self) -> List[ClientId]:
+        """Clients with at least one outgoing subscription, sorted."""
+        return sorted(self._followed)
+
+    def followed_by(self, subscriber: ClientId) -> List[Subscription]:
+        """Subscription edges out of ``subscriber`` (the set ``N_i'``)."""
+        return list(self._followed.get(subscriber, []))
+
+    def served_by(self, publisher: ClientId) -> List[Subscription]:
+        """Subscription edges into a canonical publisher (the set ``M_i``)."""
+        return list(self._served.get(self.canonical(publisher), []))
+
+    def edge(self, subscriber: ClientId, publisher: ClientId) -> Optional[Subscription]:
+        """The subscription edge between a pair (literal publisher id)."""
+        for e in self._followed.get(subscriber, []):
+            if e.publisher == publisher:
+                return e
+        return None
+
+    def feasible_for_edge(
+        self,
+        edge: Subscription,
+        restricted: Optional[Mapping[ClientId, Sequence[StreamSpec]]] = None,
+    ) -> List[StreamSpec]:
+        """The per-edge feasible set ``S_ii'`` (resolution-capped ``S_i``).
+
+        Args:
+            edge: the subscription edge (publisher may be an alias).
+            restricted: optional per-canonical-publisher override of the
+                feasible sets (the solver's Step 3 shrinks ``S_i`` between
+                iterations and passes the shrunk sets here).
+        """
+        source = restricted if restricted is not None else self.feasible_streams
+        streams = source.get(self.canonical(edge.publisher), [])
+        return streams_up_to_resolution(streams, edge.max_resolution)
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    def downlink_budget(self, client: ClientId) -> int:
+        """Video downlink budget in kbps (after audio protection)."""
+        return self.bandwidth[client].effective_downlink_kbps
+
+    def uplink_budget(self, client: ClientId) -> int:
+        """Video uplink budget of a physical client (after audio protection)."""
+        return self.bandwidth[client].effective_uplink_kbps
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Problem(clients={len(self.clients)}, "
+            f"publishers={len(self.publishers)}, "
+            f"edges={len(self.subscriptions)})"
+        )

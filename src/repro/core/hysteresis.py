@@ -1,0 +1,97 @@
+"""Upgrade hysteresis against video-quality oscillation (Sec. 7).
+
+Bandwidth estimates on slow links fluctuate; feeding them straight into the
+solver makes configured bitrates bounce, which users perceive as quality
+oscillation.  The paper's lesson:
+
+    "we mark a video stream that has been downgraded, and when the
+    controller later determines that an upgrade is needed, we only allow
+    such an upgrade if the bandwidth increase has surpassed a threshold to
+    filter out the noisy fluctuations in measurements."
+
+:class:`UpgradeDamper` implements that filter at the measurement boundary:
+it tracks, per client and direction, the bandwidth level at which the last
+downgrade happened and clamps *reported* bandwidth until the raw measurement
+clears the old level by a configurable margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .types import ClientId
+
+
+@dataclass
+class _LinkState:
+    """Damping state of one (client, direction) link."""
+
+    #: Last bandwidth value released to the controller.
+    released_kbps: Optional[int] = None
+    #: True once a downgrade has been observed (the paper's "mark").
+    downgraded: bool = False
+
+
+@dataclass
+class UpgradeDamper:
+    """Clamps bandwidth upgrades until they clear a confidence threshold.
+
+    Downgrades (lower measurements) always pass through immediately —
+    reacting slowly to congestion would cause stalls.  Upgrades after a
+    downgrade pass only once the measurement exceeds the previously released
+    value by ``upgrade_margin`` (relative) — until then the old value is
+    re-released.
+
+    Attributes:
+        upgrade_margin: required relative increase, e.g. 0.15 means the new
+            measurement must exceed the released value by 15 %.
+    """
+
+    upgrade_margin: float = 0.15
+    _links: Dict[Tuple[ClientId, str], _LinkState] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.upgrade_margin < 0:
+            raise ValueError("upgrade_margin must be non-negative")
+
+    def filter(self, client: ClientId, direction: str, measured_kbps: int) -> int:
+        """Pass one measurement through the damper.
+
+        Args:
+            client: the client the measurement belongs to.
+            direction: "uplink" or "downlink".
+            measured_kbps: the raw estimator output.
+
+        Returns:
+            The bandwidth value the controller should use.
+        """
+        if direction not in ("uplink", "downlink"):
+            raise ValueError(f"unknown direction {direction!r}")
+        if measured_kbps < 0:
+            raise ValueError("measured bandwidth must be non-negative")
+        state = self._links.setdefault((client, direction), _LinkState())
+        if state.released_kbps is None:
+            state.released_kbps = measured_kbps
+            return measured_kbps
+        if measured_kbps < state.released_kbps:
+            # Downgrade: release immediately and mark the stream.
+            state.released_kbps = measured_kbps
+            state.downgraded = True
+            return measured_kbps
+        if not state.downgraded:
+            # Never downgraded: upgrades flow freely.
+            state.released_kbps = measured_kbps
+            return measured_kbps
+        threshold = state.released_kbps * (1.0 + self.upgrade_margin)
+        if measured_kbps >= threshold:
+            # Confident upgrade: release and clear the mark.
+            state.released_kbps = measured_kbps
+            state.downgraded = False
+            return measured_kbps
+        return state.released_kbps
+
+    def reset(self, client: ClientId) -> None:
+        """Drop all damping state of one client (e.g. on rejoin)."""
+        for key in [k for k in self._links if k[0] == client]:
+            del self._links[key]

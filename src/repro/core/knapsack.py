@@ -1,0 +1,139 @@
+"""Step 1 (Knapsack): downlink + subscription constraints (Sec. 4.1.1).
+
+For each subscriber ``i'`` independently, choose at most one stream from each
+followed publisher's edge-feasible set ``S_ii'`` so that total QoE utility is
+maximized under the downlink budget ``B_d_i'`` — Eq. 1-4.  The per-subscriber
+problems are independent multi-choice knapsacks, solved by pseudo-polynomial
+dynamic programming.
+
+The output is the *request* set ``D_i'`` of Eq. 6: which (publisher, stream)
+pairs each subscriber asks for.  Whether those requests are honoured at the
+requested bitrate is decided by Steps 2-3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .constraints import Problem, Subscription
+from .mckp import Item, MckpSolution, solve_mckp_dp, solve_mckp_exhaustive
+from .types import ClientId, StreamSpec
+
+#: Step-1 output: per subscriber, per followed publisher, the requested stream.
+Requests = Dict[ClientId, Dict[ClientId, StreamSpec]]
+
+#: Incumbent assignments: (subscriber, literal publisher) -> the resolution
+#: currently being received.  Items at the incumbent resolution get a small
+#: QoE bonus so noise-level input changes do not flip assignments (stream
+#: switches cost keyframes and visible quality churn); genuinely better
+#: assignments still win.
+Incumbent = Dict[Tuple[ClientId, ClientId], "object"]
+
+#: Signature shared by the DP and exhaustive per-subscriber solvers.
+MckpSolver = Callable[[Sequence[Sequence[Item]], int], MckpSolution]
+
+
+def solve_subscriber(
+    problem: Problem,
+    subscriber: ClientId,
+    feasible: Optional[Mapping[ClientId, Sequence[StreamSpec]]] = None,
+    granularity: int = 1,
+    exhaustive: bool = False,
+    incumbent: Optional[Incumbent] = None,
+    stickiness: float = 0.0,
+) -> Dict[ClientId, StreamSpec]:
+    """Solve Eq. 1-4 for one subscriber.
+
+    Args:
+        problem: the orchestration problem.
+        subscriber: the subscriber ``i'`` to solve for.
+        feasible: optional per-publisher restriction of the feasible sets
+            (Step 3 shrinks them between iterations).
+        granularity: DP capacity grid step in kbps.
+        exhaustive: solve by exact enumeration instead of DP (brute-force
+            baseline; exponential).
+        incumbent: current (subscriber, publisher) -> resolution
+            assignments; used with ``stickiness``.
+        stickiness: relative QoE bonus applied to items whose resolution
+            matches the incumbent assignment of their edge (switch
+            damping; 0 disables).
+
+    Returns:
+        The requested streams ``D_i'`` as a publisher -> stream mapping.
+        Publishers whose class was skipped are absent.
+    """
+    edges = problem.followed_by(subscriber)
+    if not edges:
+        return {}
+    # Deterministic class order that also encodes the tie-break the paper's
+    # Table 1 exhibits: when two assignments have equal total QoE, the
+    # subscription edge with the higher resolution cap (e.g. the 720p
+    # speaker tile vs. a 360p thumbnail) receives the larger stream.  The DP
+    # keeps the first-found optimum per class scanning items by descending
+    # bitrate, and later classes win ties during backtracking — so sorting
+    # edges by ascending cap gives high-cap edges the tie preference.
+    edges = sorted(edges, key=lambda e: (e.max_resolution, e.publisher))
+    classes: List[List[Item]] = []
+    class_streams: List[List[StreamSpec]] = []
+    class_pubs: List[ClientId] = []
+    for edge in edges:
+        streams = problem.feasible_for_edge(edge, restricted=feasible)
+        if not streams:
+            continue
+        held = (
+            incumbent.get((subscriber, edge.publisher))
+            if incumbent is not None
+            else None
+        )
+        classes.append(
+            [
+                (
+                    s.bitrate_kbps,
+                    s.qoe * (1.0 + stickiness)
+                    if held is not None and s.resolution == held
+                    else s.qoe,
+                )
+                for s in streams
+            ]
+        )
+        class_streams.append(streams)
+        class_pubs.append(edge.publisher)
+    if not classes:
+        return {}
+    capacity = problem.downlink_budget(subscriber)
+    if exhaustive:
+        result = solve_mckp_exhaustive(classes, capacity)
+    else:
+        result = solve_mckp_dp(classes, capacity, granularity=granularity)
+    requests: Dict[ClientId, StreamSpec] = {}
+    for pub, streams, pick in zip(class_pubs, class_streams, result.picks):
+        if pick is not None:
+            requests[pub] = streams[pick]
+    return requests
+
+
+def knapsack_step(
+    problem: Problem,
+    feasible: Optional[Mapping[ClientId, Sequence[StreamSpec]]] = None,
+    granularity: int = 1,
+    exhaustive: bool = False,
+    incumbent: Optional[Incumbent] = None,
+    stickiness: float = 0.0,
+) -> Requests:
+    """Run Step 1 for every subscriber (the |I| independent knapsacks).
+
+    Returns the full request map ``{subscriber: D_i'}``.  Subscribers with no
+    fulfillable request map to an empty dict.
+    """
+    return {
+        sub: solve_subscriber(
+            problem,
+            sub,
+            feasible=feasible,
+            granularity=granularity,
+            exhaustive=exhaustive,
+            incumbent=incumbent,
+            stickiness=stickiness,
+        )
+        for sub in problem.subscribers
+    }

@@ -1,0 +1,299 @@
+"""Multi-Choice Knapsack Problem (MCKP) solvers.
+
+Step 1 of the GSO control algorithm (Sec. 4.1.1) reduces each subscriber's
+downlink to an MCKP instance: the downlink is a knapsack with capacity
+``B_d_i'``; each followed publisher contributes one *class* of items (its
+edge-feasible streams ``S_ii'``); an item's weight is the stream bitrate and
+its value the QoE utility; at most one item may be taken per class.
+
+Three solvers are provided:
+
+* :func:`solve_mckp_dp` — the production path: dynamic programming over a
+  discretized capacity grid, pseudo-polynomial ``O(C/g * total_items)`` where
+  ``g`` is the grid granularity.  With ``g = 1`` (kbps) the solution is
+  exact; coarser grids trade a bounded optimality loss for speed.  The
+  capacity dimension is vectorized with numpy so large meetings (Fig. 6c:
+  400 subscribers x 18 bitrates) solve in real time.
+* :func:`solve_mckp_dp_mandatory` — the variant where exactly one item must
+  be taken per class; used by Step 3's uplink fix (Eq. 16), where policy
+  entries may be lowered but not dropped.
+* :func:`solve_mckp_exhaustive` — exact enumeration of the
+  ``prod(|class|+1)`` combinations.  Exponential; this is the brute-force
+  comparator of Fig. 6 and the test oracle.
+
+A pure-Python DP (:func:`_solve_mckp_dp_python`) is kept for differential
+testing of the vectorized path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: One knapsack item: (weight_kbps, value).  Item identity within its class
+#: is positional: solutions report the chosen index per class.
+Item = Tuple[int, float]
+
+#: A "no pick" marker in solution vectors.
+NO_PICK: Optional[int] = None
+
+#: Sentinel used in the integer choice tables.
+_NO_CHOICE = -1
+
+
+@dataclass(frozen=True)
+class MckpSolution:
+    """Result of an MCKP solve.
+
+    Attributes:
+        picks: per class, the chosen item index or ``None`` if the class is
+            skipped (Eq. 4 allows ``sum_k x_ik <= 1``).
+        total_value: sum of chosen item values (the Eq. 1 objective).
+        total_weight: sum of chosen item weights, guaranteed <= capacity.
+    """
+
+    picks: Tuple[Optional[int], ...]
+    total_value: float
+    total_weight: int
+
+
+def _validate(classes: Sequence[Sequence[Item]], capacity: int) -> None:
+    if capacity < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity}")
+    for ci, cls in enumerate(classes):
+        for wi, (weight, value) in enumerate(cls):
+            if weight <= 0:
+                raise ValueError(
+                    f"item {wi} of class {ci} has non-positive weight {weight}"
+                )
+            if value < 0:
+                raise ValueError(
+                    f"item {wi} of class {ci} has negative value {value}"
+                )
+
+
+def _grid_weight(weight: int, granularity: int) -> int:
+    """Item weight on the capacity grid, rounded up (never under-counts)."""
+    return max(1, -(-weight // granularity))
+
+
+def _empty_solution(n_classes: int) -> MckpSolution:
+    return MckpSolution(tuple([NO_PICK] * n_classes), 0.0, 0)
+
+
+def _finish(
+    classes: Sequence[Sequence[Item]],
+    picks: List[Optional[int]],
+    capacity: int,
+) -> MckpSolution:
+    total_weight = sum(
+        classes[ci][idx][0] for ci, idx in enumerate(picks) if idx is not None
+    )
+    total_value = sum(
+        classes[ci][idx][1] for ci, idx in enumerate(picks) if idx is not None
+    )
+    assert total_weight <= capacity, "DP produced an infeasible solution"
+    return MckpSolution(tuple(picks), total_value, total_weight)
+
+
+def solve_mckp_dp(
+    classes: Sequence[Sequence[Item]],
+    capacity: int,
+    granularity: int = 1,
+) -> MckpSolution:
+    """Solve an MCKP instance by dynamic programming (numpy-vectorized).
+
+    The DP table has one row per class and one column per capacity grid
+    slot.  Weights are divided by ``granularity`` rounding *up*, so the
+    returned solution never violates the true capacity; it may be slightly
+    conservative (skip a barely-fitting item) when ``granularity > 1``.
+
+    Args:
+        classes: item classes; at most one item is chosen from each.
+        capacity: knapsack capacity in the same (kbps) unit as weights.
+        granularity: capacity grid step in kbps.  1 = exact.
+
+    Returns:
+        The optimal (for the discretized instance) :class:`MckpSolution`.
+    """
+    _validate(classes, capacity)
+    if granularity < 1:
+        raise ValueError(f"granularity must be >= 1, got {granularity}")
+    slots = capacity // granularity
+    n = len(classes)
+    if n == 0 or slots == 0:
+        return _empty_solution(n)
+
+    best = np.zeros(slots + 1, dtype=np.float64)
+    choices = np.full((n, slots + 1), _NO_CHOICE, dtype=np.int32)
+    for ci, cls in enumerate(classes):
+        new_best = best.copy()  # skipping this class is always allowed
+        row = choices[ci]
+        for idx, (w, v) in enumerate(cls):
+            gw = _grid_weight(w, granularity)
+            if gw > slots:
+                continue
+            cand = best[: slots + 1 - gw] + v
+            better = cand > new_best[gw:]
+            new_best[gw:][better] = cand[better]
+            row[gw:][better] = idx
+        best = new_best
+
+    col = int(np.argmax(best))  # argmax returns the smallest maximizing col
+    picks: List[Optional[int]] = [NO_PICK] * n
+    for ci in range(n - 1, -1, -1):
+        idx = int(choices[ci][col])
+        if idx == _NO_CHOICE:
+            picks[ci] = NO_PICK
+            continue
+        picks[ci] = idx
+        col -= _grid_weight(classes[ci][idx][0], granularity)
+    return _finish(classes, picks, capacity)
+
+
+def _solve_mckp_dp_python(
+    classes: Sequence[Sequence[Item]],
+    capacity: int,
+    granularity: int = 1,
+) -> MckpSolution:
+    """Pure-Python reference implementation of :func:`solve_mckp_dp`.
+
+    Kept for differential testing; functionally identical, only slower.
+    """
+    _validate(classes, capacity)
+    if granularity < 1:
+        raise ValueError(f"granularity must be >= 1, got {granularity}")
+    slots = capacity // granularity
+    n = len(classes)
+    if n == 0 or slots == 0:
+        return _empty_solution(n)
+
+    best = [0.0] * (slots + 1)
+    choices: List[List[int]] = []
+    for cls in classes:
+        new_best = list(best)
+        row = [_NO_CHOICE] * (slots + 1)
+        for idx, (w, v) in enumerate(cls):
+            gw = _grid_weight(w, granularity)
+            if gw > slots:
+                continue
+            for c in range(slots, gw - 1, -1):
+                cand = best[c - gw] + v
+                if cand > new_best[c]:
+                    new_best[c] = cand
+                    row[c] = idx
+        best = new_best
+        choices.append(row)
+
+    col = max(range(slots + 1), key=lambda c: (best[c], -c))
+    picks: List[Optional[int]] = [NO_PICK] * n
+    for ci in range(n - 1, -1, -1):
+        idx = choices[ci][col]
+        if idx == _NO_CHOICE:
+            picks[ci] = NO_PICK
+            continue
+        picks[ci] = idx
+        col -= _grid_weight(classes[ci][idx][0], granularity)
+    return _finish(classes, picks, capacity)
+
+
+def solve_mckp_dp_mandatory(
+    classes: Sequence[Sequence[Item]],
+    capacity: int,
+    granularity: int = 1,
+) -> Optional[MckpSolution]:
+    """Solve an MCKP where *exactly one* item must be taken from each class.
+
+    Step 3's fix (Eq. 16) replaces every policy entry with a lower bitrate of
+    the same resolution — entries cannot be dropped during the fix, so the
+    knapsack there is the mandatory-pick variant.
+
+    Returns:
+        The optimal solution, or ``None`` when no feasible combination
+        exists (the Eq. 17 test failed).
+    """
+    _validate(classes, capacity)
+    if granularity < 1:
+        raise ValueError(f"granularity must be >= 1, got {granularity}")
+    if any(len(cls) == 0 for cls in classes):
+        return None
+    n = len(classes)
+    if n == 0:
+        return MckpSolution((), 0.0, 0)
+    slots = capacity // granularity
+
+    neg = float("-inf")
+    best = np.full(slots + 1, neg, dtype=np.float64)
+    best[0] = 0.0
+    choices = np.full((n, slots + 1), _NO_CHOICE, dtype=np.int32)
+    for ci, cls in enumerate(classes):
+        new_best = np.full(slots + 1, neg, dtype=np.float64)
+        row = choices[ci]
+        for idx, (w, v) in enumerate(cls):
+            gw = _grid_weight(w, granularity)
+            if gw > slots:
+                continue
+            cand = best[: slots + 1 - gw] + v
+            better = cand > new_best[gw:]
+            new_best[gw:][better] = cand[better]
+            row[gw:][better] = idx
+        best = new_best
+
+    if not np.isfinite(best).any():
+        return None
+    col = int(np.argmax(best))
+    picks: List[int] = [0] * n
+    for ci in range(n - 1, -1, -1):
+        idx = int(choices[ci][col])
+        assert idx != _NO_CHOICE, "mandatory DP lost a pick during backtracking"
+        picks[ci] = idx
+        col -= _grid_weight(classes[ci][idx][0], granularity)
+    total_weight = sum(classes[ci][idx][0] for ci, idx in enumerate(picks))
+    total_value = sum(classes[ci][idx][1] for ci, idx in enumerate(picks))
+    if total_weight > capacity:
+        return None
+    return MckpSolution(tuple(picks), total_value, total_weight)
+
+
+def solve_mckp_exhaustive(
+    classes: Sequence[Sequence[Item]],
+    capacity: int,
+) -> MckpSolution:
+    """Solve an MCKP instance by exact enumeration.
+
+    Iterates the full cartesian product of per-class choices (including
+    "skip"), so the running time is ``prod(|class_i| + 1)`` — exponential in
+    the number of classes.  This is the brute-force comparator of Fig. 6.
+
+    Returns:
+        The exactly-optimal :class:`MckpSolution`.
+    """
+    _validate(classes, capacity)
+    n = len(classes)
+    options: List[List[Optional[int]]] = [
+        [NO_PICK] + list(range(len(cls))) for cls in classes
+    ]
+    best_value = -1.0
+    best_weight = 0
+    best_picks: Tuple[Optional[int], ...] = tuple([NO_PICK] * n)
+    for combo in itertools.product(*options):
+        weight = 0
+        value = 0.0
+        feasible = True
+        for ci, idx in enumerate(combo):
+            if idx is None:
+                continue
+            w, v = classes[ci][idx]
+            weight += w
+            if weight > capacity:
+                feasible = False
+                break
+            value += v
+        if feasible and value > best_value:
+            best_value = value
+            best_weight = weight
+            best_picks = combo
+    return MckpSolution(best_picks, max(best_value, 0.0), best_weight)

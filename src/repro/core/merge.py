@@ -1,0 +1,74 @@
+"""Step 2 (Merge): codec capability constraints (Sec. 4.1.2).
+
+Step 1's per-subscriber requests, inverted to the publisher side, give each
+publisher the set ``U_i`` of (subscriber, stream) pairs it is asked to serve
+(Eq. 7).  A codec can emit at most one encoding per resolution, so requests
+at the same resolution but different bitrates must be *merged*: the paper's
+``Meg()`` function (Eq. 10-12) keeps the **minimum** requested bitrate —
+lowering a stream can never violate a subscriber's downlink budget, whereas
+raising one could.
+
+The output is the potential policy set ``P_i`` per publisher (Eq. 13): at
+most one ``(audience, bitrate)`` entry per resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from .constraints import Problem
+from .knapsack import Requests
+from .solution import PolicyEntry
+from .types import ClientId, Resolution, StreamSpec
+
+#: Step-2 output: per publisher, per resolution, the merged policy entry.
+Policies = Dict[ClientId, Dict[Resolution, PolicyEntry]]
+
+
+def invert_requests(
+    problem: Problem, requests: Requests
+) -> Dict[ClientId, List[Tuple[ClientId, StreamSpec]]]:
+    """Build ``U_i`` (Eq. 7): per publisher, the (subscriber, stream) pairs.
+
+    Virtual publishers are folded back into their canonical targets here —
+    this is exactly the Sec. 4.4 prescription: "at the beginning of Step 2,
+    we merge X' with X, so that we treat them again as the same publisher".
+    Iteration order is made deterministic by sorting subscribers.
+    """
+    served: Dict[ClientId, List[Tuple[ClientId, StreamSpec]]] = {}
+    for sub in sorted(requests):
+        for pub, stream in sorted(requests[sub].items()):
+            served.setdefault(problem.canonical(pub), []).append((sub, stream))
+    return served
+
+
+def merge_publisher(
+    asked: List[Tuple[ClientId, StreamSpec]],
+) -> Dict[Resolution, PolicyEntry]:
+    """Apply ``Meg()`` to one publisher's ``U_i``.
+
+    Partitions the requests by resolution (Eq. 8-9) and, for each non-empty
+    partition ``U_i^R``, emits a policy entry with audience ``M_i^R`` (all
+    requesting subscribers) and bitrate ``s_i^R = min`` over the partition
+    (Eq. 11-12).
+    """
+    by_res: Dict[Resolution, List[Tuple[ClientId, StreamSpec]]] = {}
+    for sub, stream in asked:
+        by_res.setdefault(stream.resolution, []).append((sub, stream))
+    merged: Dict[Resolution, PolicyEntry] = {}
+    for res, group in by_res.items():
+        floor = min((stream for _, stream in group), key=lambda s: s.bitrate_kbps)
+        audience = frozenset(sub for sub, _ in group)
+        merged[res] = PolicyEntry(stream=floor, audience=audience)
+    return merged
+
+
+def merge_step(problem: Problem, requests: Requests) -> Policies:
+    """Run Step 2 for every publisher.
+
+    Returns the potential policy map ``{publisher: P_i}``.  Publishers nobody
+    requested are absent (they will be told to stop publishing — the Fig. 3a
+    wasted-uplink fix).
+    """
+    served = invert_requests(problem, requests)
+    return {pub: merge_publisher(asked) for pub, asked in served.items()}

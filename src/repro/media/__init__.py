@@ -1,0 +1,45 @@
+"""Media plane substrate: sources, codec model, playback, accessing nodes."""
+
+from .audio import (
+    AUDIO_BITRATE_KBPS,
+    AudioReceiver,
+    AudioSender,
+    VOICE_STALL_LOSS_THRESHOLD,
+)
+from .codec import (
+    CpuModel,
+    EncodedFrame,
+    KEYFRAME_SIZE_FACTOR,
+    MTU_PAYLOAD_BYTES,
+    SimulcastEncoder,
+    packetize,
+)
+from .jitter_buffer import (
+    PlaybackMetrics,
+    STALL_GAP_S,
+    VideoJitterBuffer,
+    compute_playback_metrics,
+)
+from .sfu import AccessingNode, is_rtcp
+from .source import SourceConfig, VideoSource
+
+__all__ = [
+    "AUDIO_BITRATE_KBPS",
+    "AccessingNode",
+    "AudioReceiver",
+    "AudioSender",
+    "CpuModel",
+    "EncodedFrame",
+    "KEYFRAME_SIZE_FACTOR",
+    "MTU_PAYLOAD_BYTES",
+    "PlaybackMetrics",
+    "STALL_GAP_S",
+    "SimulcastEncoder",
+    "SourceConfig",
+    "VOICE_STALL_LOSS_THRESHOLD",
+    "VideoJitterBuffer",
+    "VideoSource",
+    "compute_playback_metrics",
+    "is_rtcp",
+    "packetize",
+]

@@ -1,0 +1,246 @@
+"""Receiver-side playback model: frame assembly, stalls, framerate.
+
+The quality metrics of the paper's evaluation are *receiver-side playback*
+metrics:
+
+* **video stall** — "the percentage of video playback intervals, in which
+  the maximum delay between two consecutive frames is larger than 200 ms"
+  (footnote 9);
+* **framerate** — delivered (rendered) frames per second.
+
+:class:`VideoJitterBuffer` reassembles RTP packets into frames per SSRC run
+(packets of one frame share a timestamp; the marker bit ends the frame),
+declares frames lost when their packets never complete within the playout
+deadline, and records render times; :class:`PlaybackMetrics` turns render
+times into the paper's interval metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..rtp.packet import RtpPacket, seq_distance
+
+#: The paper's stall threshold: >200 ms between consecutive rendered frames.
+STALL_GAP_S = 0.200
+
+#: Metric accounting interval (playback intervals of 1 s).
+INTERVAL_S = 1.0
+
+
+@dataclass
+class _PendingFrame:
+    """A frame being reassembled from its RTP packets."""
+
+    timestamp: int
+    first_arrival_s: float
+    seqs: Set[int] = field(default_factory=set)
+    marker_seq: Optional[int] = None
+    min_seq: Optional[int] = None
+    bytes_received: int = 0
+
+    def add(self, packet: RtpPacket, now_s: float) -> None:
+        """Account one packet into the frame under reassembly."""
+        self.seqs.add(packet.seq)
+        self.bytes_received += len(packet.payload)
+        if packet.marker:
+            self.marker_seq = packet.seq
+        if self.min_seq is None or seq_distance(packet.seq, self.min_seq) < 2**15:
+            if self.min_seq is None or seq_distance(self.min_seq, packet.seq) > 2**15:
+                self.min_seq = packet.seq
+
+    def is_complete(self) -> bool:
+        """Complete when the marker arrived and no seq holes remain."""
+        if self.marker_seq is None or self.min_seq is None:
+            return False
+        span = seq_distance(self.min_seq, self.marker_seq) + 1
+        return len(self.seqs) >= span
+
+
+class VideoJitterBuffer:
+    """Frame reassembly and render-time tracking for one received stream.
+
+    Frames render on an *adaptive playout schedule*: each frame targets
+    ``capture_time + playout_offset`` where the offset tracks observed
+    end-to-end lateness (completion time minus capture time) — growing
+    immediately when frames arrive later than the current offset and
+    decaying slowly when the path calms down.  This is how real de-jitter
+    buffers convert path jitter into constant added latency instead of
+    render gaps.  Incomplete frames are abandoned once the loss deadline
+    passes, matching a real-time decoder skipping forward.
+
+    Args:
+        playout_delay_s: minimum playout offset (de-jitter floor).
+        loss_deadline_s: how long an incomplete frame may block newer ones.
+        max_playout_s: ceiling on the adaptive offset (interactivity cap).
+    """
+
+    #: Safety margin added above observed lateness.
+    _OFFSET_MARGIN_S = 0.02
+    #: Multiplicative decay of the offset per rendered frame.
+    _OFFSET_DECAY = 0.998
+
+    def __init__(
+        self,
+        playout_delay_s: float = 0.05,
+        loss_deadline_s: float = 0.45,
+        max_playout_s: float = 0.6,
+    ) -> None:
+        self.playout_delay_s = playout_delay_s
+        self.loss_deadline_s = loss_deadline_s
+        self.max_playout_s = max_playout_s
+        self._pending: Dict[int, _PendingFrame] = {}
+        self.render_times: List[float] = []
+        self.rendered_bytes = 0
+        self.frames_lost = 0
+        self._last_rendered_ts: Optional[int] = None
+        self._playout_offset_s = playout_delay_s
+
+    def on_packet(self, packet: RtpPacket, now_s: float) -> Optional[float]:
+        """Feed one RTP packet.
+
+        Returns:
+            The render time if this packet completed a frame, else None.
+        """
+        if self._last_rendered_ts is not None:
+            behind = (self._last_rendered_ts - packet.timestamp) % 2**32
+            if behind < 2**31 and (
+                behind > 0 or packet.timestamp == self._last_rendered_ts
+            ):
+                # Late packet of an already-skipped frame, or a duplicate /
+                # retransmission of the frame just rendered.
+                return None
+        self._expire_stale(now_s, except_ts=packet.timestamp)
+        frame = self._pending.get(packet.timestamp)
+        if frame is None:
+            frame = _PendingFrame(packet.timestamp, first_arrival_s=now_s)
+            self._pending[packet.timestamp] = frame
+        frame.add(packet, now_s)
+        if not frame.is_complete():
+            return None
+        # Adapt the playout offset from this frame's end-to-end lateness
+        # (completion time relative to its RTP capture timestamp).
+        capture_s = packet.timestamp / 90_000.0
+        lateness = now_s - capture_s
+        if 0 <= lateness <= self.max_playout_s:
+            wanted = lateness + self._OFFSET_MARGIN_S
+            if wanted > self._playout_offset_s:
+                self._playout_offset_s = wanted
+            else:
+                self._playout_offset_s = max(
+                    self.playout_delay_s,
+                    self._playout_offset_s * self._OFFSET_DECAY,
+                )
+            render_time = max(now_s, capture_s + self._playout_offset_s)
+        else:
+            # Timestamp wrapped or frame arrived absurdly late: render now.
+            render_time = max(
+                now_s, frame.first_arrival_s + self.playout_delay_s
+            )
+        self._render(frame, render_time)
+        return render_time
+
+    def _render(self, frame: _PendingFrame, render_time: float) -> None:
+        self._pending.pop(frame.timestamp, None)
+        self.render_times.append(render_time)
+        self.rendered_bytes += frame.bytes_received
+        self._last_rendered_ts = frame.timestamp
+        # Any older pending frame was skipped over.
+        for ts in list(self._pending):
+            if (frame.timestamp - ts) % 2**32 < 2**31 and ts != frame.timestamp:
+                del self._pending[ts]
+                self.frames_lost += 1
+
+    def _expire_stale(self, now_s: float, except_ts: Optional[int] = None) -> None:
+        for ts in list(self._pending):
+            if ts == except_ts:
+                continue
+            if now_s - self._pending[ts].first_arrival_s > self.loss_deadline_s:
+                del self._pending[ts]
+                self.frames_lost += 1
+
+
+@dataclass
+class PlaybackMetrics:
+    """Interval metrics computed from render times (the paper's footnotes).
+
+    Attributes:
+        duration_s: length of the observation window.
+        rendered_frames: frames rendered in the window.
+        stall_intervals: 1 s intervals containing a >200 ms render gap.
+        total_intervals: 1 s intervals in the window.
+    """
+
+    duration_s: float
+    rendered_frames: int
+    stall_intervals: int
+    total_intervals: int
+    rendered_kbps: float
+
+    @property
+    def framerate(self) -> float:
+        """Rendered frames per second over the window."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.rendered_frames / self.duration_s
+
+    @property
+    def stall_rate(self) -> float:
+        """Fraction of playback intervals that contained a stall."""
+        if self.total_intervals == 0:
+            return 0.0
+        return self.stall_intervals / self.total_intervals
+
+
+def compute_playback_metrics(
+    render_times: List[float],
+    window_start_s: float,
+    window_end_s: float,
+    rendered_bytes: int = 0,
+    stall_gap_s: float = STALL_GAP_S,
+    interval_s: float = INTERVAL_S,
+) -> PlaybackMetrics:
+    """Turn render timestamps into the paper's stall/framerate metrics.
+
+    A playback interval [k, k+1) stalls if the maximum gap between
+    consecutive renders *overlapping the interval* exceeds ``stall_gap_s``.
+    A window with zero renders counts every interval as stalled.
+    """
+    duration = max(0.0, window_end_s - window_start_s)
+    times = sorted(t for t in render_times if window_start_s <= t <= window_end_s)
+    n_intervals = max(1, int(round(duration / interval_s)))
+    if not times:
+        return PlaybackMetrics(
+            duration_s=duration,
+            rendered_frames=0,
+            stall_intervals=n_intervals,
+            total_intervals=n_intervals,
+            rendered_kbps=0.0,
+        )
+    # Build gap spans: (gap_start, gap_end) including window edges.
+    spans: List[Tuple[float, float]] = []
+    prev = window_start_s
+    for t in times:
+        spans.append((prev, t))
+        prev = t
+    spans.append((prev, window_end_s))
+    stalled = 0
+    for k in range(n_intervals):
+        lo = window_start_s + k * interval_s
+        hi = lo + interval_s
+        worst = 0.0
+        for start, end in spans:
+            if end <= lo or start >= hi:
+                continue
+            worst = max(worst, end - start)
+        if worst > stall_gap_s:
+            stalled += 1
+    kbps = rendered_bytes * 8.0 / duration / 1000.0 if duration > 0 else 0.0
+    return PlaybackMetrics(
+        duration_s=duration,
+        rendered_frames=len(times),
+        stall_intervals=stalled,
+        total_intervals=n_intervals,
+        rendered_kbps=kbps,
+    )

@@ -1,0 +1,394 @@
+"""The accessing node: media-plane packet switching (Sec. 3).
+
+An accessing node "provid[es] media access to clients and rout[es] media
+data based on instructions from the control plane".  Responsibilities
+implemented here:
+
+* **demux** incoming datagrams from clients into RTP media vs. RTCP;
+* **selective forwarding**: per (subscriber, publisher-entity) the control
+  plane installs which video SSRC to forward; audio fans out to every
+  other attached participant;
+* **inter-node relay**: packets for subscribers homed on a different
+  accessing node travel over the node-to-node link;
+* **TWCC both ways**: the node rewrites the transport-wide sequence
+  extension on every forwarded packet (per-transport semantics, like a
+  real SFU), echoes feedback for client uplinks, and consumes feedback
+  about its own downlinks;
+* **downlink bandwidth estimation**: the node is the *sender* on client
+  downlinks, so per Sec. 4.2 it runs the sender-side (GCC) estimator per
+  downlink; the conference node reads the values off directly;
+* **RTCP plumbing**: SEMB reports and GSO TMMBN acks from clients bubble
+  up to the control plane; GSO TMMBR requests are pushed down to clients.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..cc.gcc import GccEstimator
+from ..cc.twcc import TwccReceiver, TwccSender
+from ..core.types import ClientId
+from ..net.link import Link
+from ..net.packet import Packet, packet_for_bytes
+from ..net.simulator import PeriodicTask, Simulator
+from ..rtp.nack import GenericNack, NackTracker, RetransmissionCache, is_nack
+from ..rtp.packet import AUDIO_PAYLOAD_TYPE, RtpPacket
+from ..rtp.remb import RembPacket, is_remb
+from ..rtp.rtcp import PT_APP, PT_PSFB, PT_RTPFB, TwccFeedback, parse_common_header
+
+#: How often the node sends TWCC feedback for each client uplink.
+TWCC_FEEDBACK_INTERVAL_S = 0.1
+
+
+def is_rtcp(data: bytes) -> bool:
+    """Standard RTP/RTCP demux: RTCP packet types occupy 200..206."""
+    return len(data) >= 2 and 200 <= data[1] <= 206
+
+
+@dataclass
+class _ClientPort:
+    """Per-attached-client state on an accessing node."""
+
+    downlink: Link
+    #: Sender-side bookkeeping for the node->client transport.
+    down_twcc: TwccSender = field(default_factory=TwccSender)
+    down_estimator: GccEstimator = field(default_factory=GccEstimator)
+    #: Receiver-side bookkeeping for the client->node transport.
+    up_twcc: TwccReceiver = field(default_factory=TwccReceiver)
+    #: publisher entity -> forwarded video SSRC (None = nothing).
+    video_selection: Dict[ClientId, Optional[int]] = field(default_factory=dict)
+    #: Rolling (time, bytes) log of recent sends for the estimate cap.
+    recent_sends: deque = field(default_factory=deque)
+
+    def note_send(self, now: float, size_bytes: int) -> None:
+        """Record one downlink send for the rate window."""
+        self.recent_sends.append((now, size_bytes))
+        cutoff = now - 1.0
+        while self.recent_sends and self.recent_sends[0][0] < cutoff:
+            self.recent_sends.popleft()
+
+    def send_rate_kbps(self, now: float) -> float:
+        """Send rate over the trailing second."""
+        cutoff = now - 1.0
+        total = sum(b for t, b in self.recent_sends if t >= cutoff)
+        return total * 8.0 / 1000.0
+
+
+class AccessingNode:
+    """One media-plane node.
+
+    Args:
+        sim: the event loop.
+        name: node id.
+        on_rtcp_app_upstream: hook called with (client_id, app_packet_bytes)
+            for RTCP APP packets the control plane consumes (SEMB, TMMBN).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        on_rtcp_app_upstream: Optional[Callable[[ClientId, bytes], None]] = None,
+    ) -> None:
+        self._sim = sim
+        self.name = name
+        self._clients: Dict[ClientId, _ClientPort] = {}
+        self._peers: Dict[str, Tuple["AccessingNode", Link]] = {}
+        self._remote_clients: Dict[ClientId, str] = {}
+        #: Last ingest time per video SSRC (stream-liveness watchdogs).
+        self.last_video_ingest_s: Dict[int, float] = {}
+        #: Last ingest time of ANY packet per client (outage detection).
+        self.last_client_ingest_s: Dict[ClientId, float] = {}
+        #: Latest REMB (receiver-estimated downlink) per client, kbps.
+        self.remb_kbps: Dict[ClientId, int] = {}
+        #: Per peer node: the video SSRCs its local subscribers selected
+        #: (pushed by peers on every selection change) — drives selective
+        #: inter-node relay.
+        self._peer_interest: Dict[str, set] = {}
+        self._on_rtcp_app = on_rtcp_app_upstream
+        self.forwarded_packets = 0
+        #: Cache of media ingested from publishers (answers downlink NACKs).
+        self.rtx_cache = RetransmissionCache()
+        #: Uplink gap detection per publishing client.
+        self._uplink_nack: Dict[ClientId, NackTracker] = {}
+        #: ssrc -> publishing client (learned from ingest, for NACK routing).
+        self._ssrc_origin: Dict[int, ClientId] = {}
+        self._feedback_task = PeriodicTask(
+            sim, TWCC_FEEDBACK_INTERVAL_S, self._send_twcc_feedback
+        )
+        self._nack_task = PeriodicTask(
+            sim, 0.02, self._send_due_uplink_nacks, start_offset=0.01
+        )
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+
+    def attach_client(self, client: ClientId, downlink: Link) -> None:
+        """Home a client on this node (downlink: node -> client)."""
+        if client in self._clients:
+            raise ValueError(f"client {client!r} already attached to {self.name}")
+        self._clients[client] = _ClientPort(downlink=downlink)
+
+    def detach_client(self, client: ClientId) -> None:
+        """Remove a departed client and its forwarding state."""
+        self._clients.pop(client, None)
+        for port in self._clients.values():
+            port.video_selection.pop(client, None)
+
+    def add_peer(self, peer: "AccessingNode", link_to_peer: Link) -> None:
+        """Connect another accessing node (link: this node -> peer)."""
+        self._peers[peer.name] = (peer, link_to_peer)
+        link_to_peer.connect(
+            lambda packet, now, p=peer: p.on_packet_from_peer(packet, now)
+        )
+        # Exchange current interest sets (control-plane side channel).
+        peer.set_peer_interest(self.name, self._local_interest())
+
+    def _local_interest(self) -> set:
+        """All video SSRCs some locally attached subscriber selected."""
+        interest: set = set()
+        for port in self._clients.values():
+            interest.update(
+                ssrc for ssrc in port.video_selection.values() if ssrc
+            )
+        return interest
+
+    def set_peer_interest(self, peer_name: str, ssrcs: set) -> None:
+        """A peer announces which video SSRCs its subscribers want."""
+        self._peer_interest[peer_name] = set(ssrcs)
+
+    def _broadcast_interest(self) -> None:
+        for peer, _link in self._peers.values():
+            peer.set_peer_interest(self.name, self._local_interest())
+
+    def register_remote_client(self, client: ClientId, node_name: str) -> None:
+        """Record that a subscriber is homed on a peer node.
+
+        Kept for topology bookkeeping/diagnostics; media routing itself is
+        automatic (audio fans out to every peer; video follows the
+        interest sets peers push on selection changes).
+        """
+        if node_name not in self._peers:
+            raise ValueError(f"unknown peer node {node_name!r}")
+        self._remote_clients[client] = node_name
+
+    @property
+    def attached_clients(self) -> List[ClientId]:
+        """Locally attached client ids, sorted."""
+        return sorted(self._clients)
+
+    # ------------------------------------------------------------------ #
+    # Control-plane interface
+    # ------------------------------------------------------------------ #
+
+    def set_video_forwarding(
+        self, subscriber: ClientId, publisher: ClientId, ssrc: Optional[int]
+    ) -> None:
+        """Install which of ``publisher``'s video SSRCs flows to ``subscriber``."""
+        port = self._clients.get(subscriber)
+        if port is None:
+            raise ValueError(f"subscriber {subscriber!r} not attached here")
+        if ssrc is None:
+            port.video_selection.pop(publisher, None)
+        else:
+            port.video_selection[publisher] = ssrc
+        self._broadcast_interest()
+
+    def video_selection(
+        self, subscriber: ClientId, publisher: ClientId
+    ) -> Optional[int]:
+        """The SSRC currently forwarded for (subscriber, publisher)."""
+        port = self._clients.get(subscriber)
+        if port is None:
+            return None
+        return port.video_selection.get(publisher)
+
+    def downlink_estimate_kbps(self, client: ClientId) -> float:
+        """The node's sender-side estimate of a client's downlink.
+
+        Like the client uplink estimate, the raw GCC value is capped at a
+        multiple of what the node actually sends on this downlink — an
+        estimate cannot be validated beyond the traffic that probed it.
+        """
+        port = self._clients[client]
+        raw = port.down_estimator.estimate_kbps()
+        sending = port.send_rate_kbps(self._sim.now)
+        if sending <= 0:
+            return raw
+        return min(raw, max(3.0 * sending, 600.0))
+
+    def stream_alive(
+        self, ssrc: Optional[int], now: float, within_s: float = 2.0
+    ) -> bool:
+        """Whether a video SSRC has been ingested recently."""
+        if ssrc is None:
+            return False
+        last = self.last_video_ingest_s.get(ssrc)
+        return last is not None and now - last <= within_s
+
+    def client_alive(
+        self, client: ClientId, now: float, within_s: float = 2.0
+    ) -> bool:
+        """Whether ANY packet (media, audio, RTCP) arrived from a client
+        recently — distinguishes stream failures from network outages."""
+        last = self.last_client_ingest_s.get(client)
+        return last is not None and now - last <= within_s
+
+    def send_rtcp_to_client(self, client: ClientId, rtcp_bytes: bytes) -> None:
+        """Push an RTCP packet (e.g. a GSO TMMBR) down to a client."""
+        port = self._clients.get(client)
+        if port is None:
+            raise ValueError(f"client {client!r} not attached here")
+        port.downlink.send(
+            packet_for_bytes(rtcp_bytes, src=self.name, dst=client)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Data path
+    # ------------------------------------------------------------------ #
+
+    def on_packet_from_client(
+        self, client: ClientId, packet: Packet, now: float
+    ) -> None:
+        """Uplink ingress: demux and forward."""
+        data: bytes = packet.payload
+        self.last_client_ingest_s[client] = now
+        if is_rtcp(data):
+            self._handle_rtcp(client, data)
+            return
+        rtp = RtpPacket.parse(data)
+        port = self._clients.get(client)
+        if port is not None and rtp.twcc_seq is not None:
+            port.up_twcc.on_packet(rtp.twcc_seq, now)
+        if rtp.payload_type not in (AUDIO_PAYLOAD_TYPE, 127):
+            self._ssrc_origin[rtp.ssrc] = client
+            self.last_video_ingest_s[rtp.ssrc] = now
+            tracker = self._uplink_nack.setdefault(client, NackTracker())
+            tracker.on_packet(rtp.ssrc, rtp.seq, now)
+            self.rtx_cache.store(rtp.with_twcc_seq(None))
+        self._forward_media(client, rtp)
+
+    def on_packet_from_peer(self, packet: Packet, now: float) -> None:
+        """Relay ingress: (origin_client, RtpPacket) from a peer node.
+
+        Audio fans out to every local participant except the origin; video
+        is delivered to the local subscribers whose selection matches the
+        SSRC.
+        """
+        origin, rtp = packet.payload
+        if rtp.payload_type == AUDIO_PAYLOAD_TYPE:
+            for sub, port in self._clients.items():
+                if sub != origin:
+                    self._deliver(sub, port, rtp)
+            return
+        for sub, port in self._clients.items():
+            if rtp.ssrc in port.video_selection.values():
+                self._deliver(sub, port, rtp)
+
+    def _forward_media(self, publisher: ClientId, rtp: RtpPacket) -> None:
+        if rtp.payload_type == 127:
+            return  # padding-only probe packets terminate at the node
+        if rtp.payload_type == AUDIO_PAYLOAD_TYPE:
+            # Audio fans out to every other participant, local and (via
+            # one relay copy per peer node) remote.
+            for sub, port in self._clients.items():
+                if sub != publisher:
+                    self._deliver(sub, port, rtp)
+            for node_name in self._peers:
+                self._relay(node_name, publisher, rtp)
+            return
+        # Video: forward only where the selection table says so.  The
+        # selection is keyed by publisher *entity*; matching on SSRC value
+        # covers camera, screen and virtual entities alike.
+        for sub, port in self._clients.items():
+            if rtp.ssrc in port.video_selection.values():
+                self._deliver(sub, port, rtp)
+        # One relay copy per interested peer node (inter-node multicast).
+        for node_name, interest in self._peer_interest.items():
+            if rtp.ssrc in interest:
+                self._relay(node_name, publisher, rtp)
+
+    def _deliver(self, client: ClientId, port: _ClientPort, rtp: RtpPacket) -> None:
+        data = rtp.with_twcc_seq(None).serialize()
+        out = packet_for_bytes(data, src=self.name, dst=client)
+        twcc_seq = port.down_twcc.register_send(out.size_bytes + 8, self._sim.now)
+        port.note_send(self._sim.now, out.size_bytes + 8)
+        # Rewrite the transport-wide sequence for this hop, like a real SFU.
+        data = rtp.with_twcc_seq(twcc_seq).serialize()
+        out = packet_for_bytes(data, src=self.name, dst=client)
+        port.downlink.send(out)
+        self.forwarded_packets += 1
+
+    def _relay(self, node_name: str, origin: ClientId, rtp: RtpPacket) -> None:
+        peer, link = self._peers[node_name]
+        link.send(
+            Packet(
+                payload=(origin, rtp),
+                size_bytes=rtp.wire_size + 28,
+                src=self.name,
+                dst=node_name,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # RTCP
+    # ------------------------------------------------------------------ #
+
+    def remb_estimate_kbps(self, client: ClientId) -> Optional[int]:
+        """The client's latest receiver-side downlink estimate, if any."""
+        return self.remb_kbps.get(client)
+
+    def _handle_rtcp(self, client: ClientId, data: bytes) -> None:
+        _, packet_type, _ = parse_common_header(data)
+        if packet_type == PT_PSFB and is_remb(data):
+            self.remb_kbps[client] = RembPacket.parse(data).bitrate_kbps
+            return
+        if packet_type == PT_RTPFB and is_nack(data):
+            # A subscriber lost forwarded packets: retransmit from cache.
+            nack = GenericNack.parse(data)
+            port = self._clients.get(client)
+            if port is None:
+                return
+            for seq in nack.seqs:
+                cached = self.rtx_cache.lookup(nack.media_ssrc, seq)
+                if cached is not None:
+                    self._deliver(client, port, cached)
+            return
+        if packet_type == PT_RTPFB:
+            # TWCC feedback about OUR downlink to this client.
+            port = self._clients.get(client)
+            if port is None:
+                return
+            feedback = TwccFeedback.parse(data)
+            samples = port.down_twcc.on_feedback(feedback)
+            port.down_estimator.on_feedback(samples)
+            if port.down_twcc.lost_reported + port.down_twcc.acked_reported > 0:
+                port.down_estimator.on_loss_report(
+                    port.down_twcc.recent_loss_fraction()
+                )
+            return
+        if packet_type == PT_APP and self._on_rtcp_app is not None:
+            # SEMB uplink reports and GSO TMMBN acks go to the control plane.
+            self._on_rtcp_app(client, data)
+
+    def _send_due_uplink_nacks(self) -> None:
+        """NACK publishing clients for holes in their ingested streams."""
+        for client, tracker in self._uplink_nack.items():
+            if client not in self._clients:
+                continue
+            for ssrc, seqs in tracker.due_requests(self._sim.now):
+                nack = GenericNack(
+                    sender_ssrc=0, media_ssrc=ssrc, seqs=tuple(seqs)
+                )
+                self.send_rtcp_to_client(client, nack.serialize())
+
+    def _send_twcc_feedback(self) -> None:
+        """Periodic TWCC feedback to every client about its uplink."""
+        for client, port in self._clients.items():
+            feedback = port.up_twcc.build_feedback()
+            if feedback is None:
+                continue
+            self.send_rtcp_to_client(client, feedback.serialize())

@@ -1,0 +1,81 @@
+"""Video source model: a camera or screen producing raw frames on a cadence.
+
+The encoder (:mod:`repro.media.codec`) consumes these ticks; the source
+itself only defines *when* frames exist and which capture resolution is
+available (a publisher cannot simulcast a resolution above its capture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.types import Resolution
+from ..net.simulator import PeriodicTask, Simulator
+
+
+@dataclass(frozen=True)
+class SourceConfig:
+    """Static properties of a capture source."""
+
+    fps: float = 30.0
+    capture_resolution: Resolution = Resolution.P720
+    #: Screen content compresses differently and often runs at lower fps.
+    is_screen: bool = False
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0:
+            raise ValueError("fps must be positive")
+
+
+class VideoSource:
+    """Drives frame ticks into a callback at the configured cadence.
+
+    Args:
+        sim: the event loop.
+        config: capture properties.
+        on_frame: called once per captured frame with the frame index.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SourceConfig,
+        on_frame: Callable[[int], None],
+    ) -> None:
+        self._config = config
+        self._on_frame = on_frame
+        self._frame_index = 0
+        self._task: Optional[PeriodicTask] = None
+        self._sim = sim
+
+    @property
+    def config(self) -> SourceConfig:
+        """The immutable source configuration."""
+        return self._config
+
+    def start(self, offset_s: float = 0.0) -> None:
+        """Begin producing frames (idempotent)."""
+        if self._task is not None:
+            return
+        self._task = PeriodicTask(
+            self._sim,
+            interval=1.0 / self._config.fps,
+            callback=self._tick,
+            start_offset=offset_s,
+        )
+
+    def stop(self) -> None:
+        """Stop the periodic activity (idempotent)."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _tick(self) -> None:
+        self._on_frame(self._frame_index)
+        self._frame_index += 1
+
+    @property
+    def frames_produced(self) -> int:
+        """Frames generated so far."""
+        return self._frame_index

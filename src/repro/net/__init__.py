@@ -1,0 +1,21 @@
+"""Discrete-event network substrate: simulator clock, links, traces."""
+
+from .link import DuplexLink, Link, LinkStats, make_duplex
+from .packet import IP_UDP_OVERHEAD_BYTES, Packet, packet_for_bytes
+from .simulator import EventHandle, PeriodicTask, Simulator
+from .trace import BandwidthStep, BandwidthTrace
+
+__all__ = [
+    "BandwidthStep",
+    "BandwidthTrace",
+    "DuplexLink",
+    "EventHandle",
+    "IP_UDP_OVERHEAD_BYTES",
+    "Link",
+    "LinkStats",
+    "Packet",
+    "PeriodicTask",
+    "Simulator",
+    "make_duplex",
+    "packet_for_bytes",
+]

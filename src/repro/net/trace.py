@@ -1,0 +1,81 @@
+"""Bandwidth traces: scheduled link-capacity changes.
+
+The evaluation scenarios apply deterministic capacity schedules to links —
+e.g. Fig. 7 limits a downlink to 750/625/500/375 kbps at t=20 s and restores
+it at t=57 s.  A :class:`BandwidthTrace` is an ordered list of (time, kbps)
+steps that can be applied to any :class:`~repro.net.link.Link`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .link import Link
+from .simulator import Simulator
+
+
+@dataclass(frozen=True)
+class BandwidthStep:
+    """One capacity change: at ``time_s``, set the link to ``kbps``."""
+
+    time_s: float
+    kbps: float
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("step time must be non-negative")
+        if self.kbps <= 0:
+            raise ValueError("step bandwidth must be positive")
+
+
+class BandwidthTrace:
+    """An ordered sequence of bandwidth steps.
+
+    Example (the Fig. 7 schedule)::
+
+        trace = BandwidthTrace.step_schedule(
+            initial_kbps=1500,
+            steps=[(20.0, 750.0)],
+            recover_at_s=57.0,
+        )
+        trace.apply(sim, link)
+    """
+
+    def __init__(self, steps: Sequence[BandwidthStep]) -> None:
+        self.steps: List[BandwidthStep] = sorted(steps, key=lambda s: s.time_s)
+
+    @classmethod
+    def step_schedule(
+        cls,
+        initial_kbps: float,
+        steps: Sequence[Tuple[float, float]],
+        recover_at_s: float = 0.0,
+    ) -> "BandwidthTrace":
+        """Build a limit-then-recover schedule.
+
+        Args:
+            initial_kbps: capacity restored at ``recover_at_s``.
+            steps: (time_s, kbps) limit events.
+            recover_at_s: when to restore ``initial_kbps`` (0 disables).
+        """
+        events = [BandwidthStep(t, kbps) for t, kbps in steps]
+        if recover_at_s > 0:
+            events.append(BandwidthStep(recover_at_s, initial_kbps))
+        return cls(events)
+
+    def apply(self, sim: Simulator, link: Link) -> None:
+        """Schedule every step of the trace onto a link."""
+        for step in self.steps:
+            sim.schedule_at(
+                step.time_s,
+                lambda kbps=step.kbps: link.set_bandwidth_kbps(kbps),
+            )
+
+    def value_at(self, t: float, initial_kbps: float) -> float:
+        """The capacity the trace prescribes at time ``t``."""
+        current = initial_kbps
+        for step in self.steps:
+            if step.time_s <= t:
+                current = step.kbps
+        return current

@@ -1,0 +1,126 @@
+"""SEMB — Sender Estimated Maximum Bitrate (Sec. 4.2).
+
+Uplink bandwidths are measured sender-side at clients and must reach the
+conference node quickly.  The paper defines SEMB "following the definition
+of receiver estimated maximum bitrate (REMB)" and ships it in-band inside
+an application-defined RTCP packet (PT=204): the reported bandwidth is
+``B = Mantissa * 2^Exp`` with a 6-bit exponent and an 18-bit mantissa, as in
+the REMB draft.
+
+Wire layout of the APP data field (after the 4-byte name "SEMB")::
+
+       0                   1                   2                   3
+      +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+      |  Num SSRC     | BR Exp    |        BR Mantissa              |
+      +---------------------------------------------------------------+
+      |  SSRC feedback applies to (repeated Num SSRC times)           |
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .rtcp import AppPacket
+
+#: 4-byte APP name identifying SEMB packets.
+SEMB_NAME = b"SEMB"
+
+_EXP_BITS = 6
+_MANTISSA_BITS = 18
+_MAX_MANTISSA = (1 << _MANTISSA_BITS) - 1
+_MAX_EXP = (1 << _EXP_BITS) - 1
+
+
+def encode_exp_mantissa(
+    bitrate_bps: int, mantissa_bits: int = _MANTISSA_BITS
+) -> Tuple[int, int]:
+    """Encode a bitrate as (exp, mantissa) with ``mantissa * 2^exp >= value``
+    minimal — the REMB/TMMBR rounding convention (round up, never report
+    less than measured).
+
+    Args:
+        bitrate_bps: the value to encode, in bits per second.
+        mantissa_bits: mantissa width (18 for REMB/SEMB, 17 for TMMBR).
+
+    Returns:
+        (exp, mantissa).
+
+    Raises:
+        ValueError: if the value cannot be represented.
+    """
+    if bitrate_bps < 0:
+        raise ValueError("bitrate must be non-negative")
+    max_mantissa = (1 << mantissa_bits) - 1
+    exp = 0
+    value = bitrate_bps
+    while value > max_mantissa:
+        # Round up when truncating so the decoded value never understates.
+        value = (value + 1) // 2
+        exp += 1
+        if exp > _MAX_EXP:
+            raise ValueError(f"bitrate {bitrate_bps} too large to encode")
+    return exp, value
+
+
+def decode_exp_mantissa(exp: int, mantissa: int) -> int:
+    """Decode ``mantissa * 2^exp`` back to bits per second."""
+    if exp < 0 or mantissa < 0:
+        raise ValueError("exp and mantissa must be non-negative")
+    return mantissa << exp
+
+
+@dataclass(frozen=True)
+class SembReport:
+    """An uplink bandwidth report from a client.
+
+    Attributes:
+        sender_ssrc: the reporting client's RTCP SSRC.
+        bitrate_bps: the sender-side estimated uplink capacity.
+        media_ssrcs: the streams the estimate covers (empty = whole link).
+    """
+
+    sender_ssrc: int
+    bitrate_bps: int
+    media_ssrcs: Tuple[int, ...] = ()
+
+    def to_app_packet(self) -> AppPacket:
+        """Wrap into the PT=204 APP packet the paper prescribes."""
+        exp, mantissa = encode_exp_mantissa(self.bitrate_bps)
+        word = (len(self.media_ssrcs) << 24) | (exp << _MANTISSA_BITS) | mantissa
+        data = struct.pack("!I", word)
+        for ssrc in self.media_ssrcs:
+            data += struct.pack("!I", ssrc)
+        return AppPacket(
+            subtype=0, ssrc=self.sender_ssrc, name=SEMB_NAME, data=data
+        )
+
+    @classmethod
+    def from_app_packet(cls, packet: AppPacket) -> "SembReport":
+        """Parse a SEMB report back out of an APP packet.
+
+        Raises:
+            ValueError: if the APP packet is not a SEMB packet.
+        """
+        if packet.name != SEMB_NAME:
+            raise ValueError(f"not a SEMB packet: name={packet.name!r}")
+        if len(packet.data) < 4:
+            raise ValueError("SEMB payload too short")
+        word = struct.unpack("!I", packet.data[:4])[0]
+        num_ssrc = word >> 24
+        exp = (word >> _MANTISSA_BITS) & _MAX_EXP
+        mantissa = word & _MAX_MANTISSA
+        if len(packet.data) < 4 + 4 * num_ssrc:
+            raise ValueError("SEMB SSRC list truncated")
+        ssrcs = struct.unpack(f"!{num_ssrc}I", packet.data[4 : 4 + 4 * num_ssrc])
+        return cls(
+            sender_ssrc=packet.ssrc,
+            bitrate_bps=decode_exp_mantissa(exp, mantissa),
+            media_ssrcs=tuple(ssrcs),
+        )
+
+    @property
+    def bitrate_kbps(self) -> int:
+        """The report rounded down to kbps (solver units)."""
+        return self.bitrate_bps // 1000

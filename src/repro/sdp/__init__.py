@@ -1,0 +1,18 @@
+"""Signaling substrate: minimal SDP plus the simulcastInfo extension."""
+
+from .sdp import MediaSection, SessionDescription
+from .simulcast_info import (
+    ResolutionCapability,
+    SimulcastInfo,
+    build_offer,
+    capability_from_info,
+)
+
+__all__ = [
+    "MediaSection",
+    "ResolutionCapability",
+    "SessionDescription",
+    "SimulcastInfo",
+    "build_offer",
+    "capability_from_info",
+]

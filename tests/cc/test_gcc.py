@@ -1,0 +1,154 @@
+"""Unit tests for the GCC-like bandwidth estimator."""
+
+import pytest
+
+from repro.cc.gcc import (
+    FeedbackSample,
+    GccConfig,
+    GccEstimator,
+    TrendlineFilter,
+)
+
+
+def steady_samples(n, rate_kbps, start=0.0, size=1000, base_delay=0.02):
+    """Packets sent and received at exactly rate_kbps: zero queue growth."""
+    gap = size * 8.0 / (rate_kbps * 1000.0)
+    return [
+        FeedbackSample(
+            send_time_s=start + k * gap,
+            arrival_time_s=start + k * gap + base_delay,
+            size_bytes=size,
+        )
+        for k in range(n)
+    ]
+
+
+def congested_samples(n, rate_kbps, queue_growth_s=0.004, start=0.0, size=1000):
+    """Each packet queues a bit longer than the last: growing delay."""
+    gap = size * 8.0 / (rate_kbps * 1000.0)
+    return [
+        FeedbackSample(
+            send_time_s=start + k * gap,
+            arrival_time_s=start + k * gap + 0.02 + k * queue_growth_s,
+            size_bytes=size,
+        )
+        for k in range(n)
+    ]
+
+
+class TestTrendlineFilter:
+    def test_needs_two_points(self):
+        f = TrendlineFilter()
+        assert f.slope() is None
+        f.update(FeedbackSample(0.0, 0.02, 100))
+        assert f.slope() is None
+
+    def test_flat_delay_gives_near_zero_slope(self):
+        f = TrendlineFilter()
+        for s in steady_samples(20, 1000):
+            f.update(s)
+        assert abs(f.slope()) < 1e-6
+
+    def test_growing_delay_gives_positive_slope(self):
+        f = TrendlineFilter()
+        for s in congested_samples(20, 1000):
+            f.update(s)
+        assert f.slope() > 0.01
+
+    def test_shrinking_delay_gives_negative_slope(self):
+        f = TrendlineFilter()
+        for s in congested_samples(20, 1000, queue_growth_s=-0.004):
+            f.update(s)
+        assert f.slope() < -0.01
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ValueError):
+            TrendlineFilter(window=1)
+
+
+class TestGccEstimator:
+    def test_initial_estimate(self):
+        est = GccEstimator(GccConfig(initial_rate_kbps=777))
+        assert est.estimate_kbps() == 777
+
+    def test_increases_without_congestion(self):
+        est = GccEstimator(GccConfig(initial_rate_kbps=500))
+        for batch_start in range(10):
+            est.on_feedback(steady_samples(20, 600, start=batch_start * 1.0))
+        assert est.estimate_kbps() > 500
+        assert est.state == "normal"
+
+    def test_backs_off_on_delay_growth(self):
+        """Backoff requires *sustained* overuse (persistence >= 2 batches)."""
+        est = GccEstimator(GccConfig(initial_rate_kbps=1000))
+        growing = congested_samples(45, 1000)
+        est.on_feedback(growing[:15])
+        assert est.state == "overuse"
+        assert est.estimate_kbps() == 1000  # first detection: no backoff yet
+        est.on_feedback(growing[15:30])
+        est.on_feedback(growing[30:])
+        assert est.state == "overuse"
+        assert est.estimate_kbps() < 1000
+
+    def test_single_overuse_blip_does_not_back_off(self):
+        est = GccEstimator(GccConfig(initial_rate_kbps=1000))
+        est.on_feedback(congested_samples(15, 1000))
+        est.on_feedback(steady_samples(20, 1000, start=0.5))
+        assert est.estimate_kbps() >= 1000
+
+    def test_heavy_loss_backs_off(self):
+        est = GccEstimator(GccConfig(initial_rate_kbps=1000))
+        est.on_loss_report(0.3)
+        assert est.estimate_kbps() <= 1000 * (1 - 0.5 * 0.3) + 1e-9
+
+    def test_mild_loss_holds(self):
+        est = GccEstimator(GccConfig(initial_rate_kbps=1000))
+        before = est.estimate_kbps()
+        est.on_loss_report(0.05)
+        assert est.estimate_kbps() == pytest.approx(before)
+
+    def test_loss_report_validates(self):
+        with pytest.raises(ValueError):
+            GccEstimator().on_loss_report(1.5)
+
+    def test_respects_min_and_max(self):
+        cfg = GccConfig(min_rate_kbps=100, max_rate_kbps=2000, initial_rate_kbps=1000)
+        est = GccEstimator(cfg)
+        for _ in range(50):
+            est.on_loss_report(0.5)
+        assert est.estimate_kbps() >= 100
+        est2 = GccEstimator(cfg)
+        for k in range(100):
+            est2.on_feedback(steady_samples(20, 3000, start=k * 1.0))
+        assert est2.estimate_kbps() <= 2000
+
+    def test_small_stream_overestimation_bias(self):
+        """Sec. 7: with a small stream (low rate, no queue buildup) the
+        estimate creeps far above the actual sending rate."""
+        est = GccEstimator(GccConfig(initial_rate_kbps=300))
+        for k in range(30):
+            est.on_feedback(steady_samples(10, 300, start=k * 0.3))
+            est.on_loss_report(0.0)
+        assert est.estimate_kbps() > 450  # grew well past the real 300 kbps
+
+    def test_probe_congested_caps_estimate(self):
+        est = GccEstimator(GccConfig(initial_rate_kbps=1000))
+        est.on_probe_result(delivered_kbps=600, congested=True)
+        assert est.estimate_kbps() <= 600
+
+    def test_probe_clean_raises_estimate(self):
+        est = GccEstimator(GccConfig(initial_rate_kbps=300))
+        est.on_probe_result(delivered_kbps=2000, congested=False)
+        assert est.estimate_kbps() >= 0.85 * 2000
+
+    def test_probe_cap_clears_on_clean_probe(self):
+        est = GccEstimator(GccConfig(initial_rate_kbps=1000))
+        est.on_probe_result(500, congested=True)
+        est.on_probe_result(1500, congested=False)
+        assert est.estimate_kbps() > 500
+
+    def test_empty_feedback_is_noop(self):
+        est = GccEstimator()
+        before = est.estimate_kbps()
+        est.on_feedback([])
+        assert est.estimate_kbps() == before

@@ -1,0 +1,152 @@
+"""Tests for the estimator mechanisms added for closed-loop stability:
+adaptive threshold, windowed-min queuing detection, loss discrimination,
+probe evaluation signals."""
+
+import pytest
+
+from repro.cc.gcc import FeedbackSample, GccConfig, GccEstimator
+
+
+def steady(n, rate_kbps, start=0.0, size=1000, delay=0.02):
+    gap = size * 8.0 / (rate_kbps * 1000.0)
+    return [
+        FeedbackSample(start + k * gap, start + k * gap + delay, size)
+        for k in range(n)
+    ]
+
+
+def jittered(n, rate_kbps, rng, start=0.0, size=1000, jitter_s=0.08):
+    gap = size * 8.0 / (rate_kbps * 1000.0)
+    return [
+        FeedbackSample(
+            start + k * gap,
+            start + k * gap + 0.02 + rng.random() * jitter_s,
+            size,
+        )
+        for k in range(n)
+    ]
+
+
+def pinned_queue(n, rate_kbps, start=0.0, size=1000, standing_s=0.3):
+    """A tail-drop queue pinned at its cap: every packet carries the same
+    large delay — zero slope, maximal congestion."""
+    gap = size * 8.0 / (rate_kbps * 1000.0)
+    return [
+        FeedbackSample(
+            start + k * gap, start + k * gap + 0.02 + standing_s, size
+        )
+        for k in range(n)
+    ]
+
+
+class TestAdaptiveThreshold:
+    def test_jitter_raises_threshold_and_avoids_collapse(self):
+        import random
+
+        rng = random.Random(1)
+        est = GccEstimator(GccConfig(initial_rate_kbps=1000))
+        for k in range(60):
+            est.on_feedback(jittered(10, 1000, rng, start=k * 0.1))
+        assert est._threshold > est.config.overuse_threshold
+        # Despite constant jitter the estimate does not collapse.
+        assert est.estimate_kbps() > 500
+
+    def test_threshold_decays_when_calm(self):
+        import random
+
+        rng = random.Random(2)
+        est = GccEstimator(GccConfig(initial_rate_kbps=1000))
+        for k in range(40):
+            est.on_feedback(jittered(10, 1000, rng, start=k * 0.1))
+        raised = est._threshold
+        for k in range(200):
+            est.on_feedback(steady(10, 1000, start=10 + k * 0.1))
+        assert est._threshold < raised
+
+    def test_threshold_never_exceeds_ceiling(self):
+        import random
+
+        rng = random.Random(3)
+        est = GccEstimator(GccConfig(initial_rate_kbps=1000))
+        for k in range(100):
+            est.on_feedback(jittered(10, 1000, rng, start=k * 0.1, jitter_s=0.5))
+        assert est._threshold <= est.config.overuse_threshold_max
+
+
+class TestPinnedQueueDetection:
+    def test_flat_but_high_delay_is_overuse(self):
+        """Zero slope + standing queue must still be congestion."""
+        est = GccEstimator(GccConfig(initial_rate_kbps=1000))
+        # Establish the base delay first.
+        est.on_feedback(steady(10, 1000))
+        for k in range(4):
+            est.on_feedback(pinned_queue(40, 1000, start=0.5 + 0.35 * k))
+        assert est.state == "overuse"
+        assert est.estimate_kbps() < 1000
+
+    def test_queuing_delay_ignores_jitter(self):
+        """The windowed-min measure reads ~0 under pure jitter."""
+        import random
+
+        rng = random.Random(4)
+        est = GccEstimator()
+        est.on_feedback(steady(5, 1000))
+        est.on_feedback(jittered(40, 1000, rng, start=0.2))
+        assert est.queuing_delay_s() < 0.03
+
+    def test_queuing_delay_reads_standing_queue(self):
+        est = GccEstimator()
+        est.on_feedback(steady(5, 1000))
+        # Long enough that the pre-congestion samples age out of the
+        # trailing measurement window.
+        for k in range(5):
+            est.on_feedback(pinned_queue(40, 1000, start=0.2 + 0.35 * k))
+        assert est.queuing_delay_s() > 0.2
+
+
+class TestLossDiscrimination:
+    def test_random_loss_is_softened(self):
+        """High loss with clean delay: backoff limited to 20%."""
+        est = GccEstimator(GccConfig(initial_rate_kbps=1000))
+        est.on_feedback(steady(20, 1000))
+        est.on_loss_report(0.5)
+        assert est.estimate_kbps() >= 0.75 * 1000
+
+    def test_congestion_loss_cuts_hard(self):
+        est = GccEstimator(GccConfig(initial_rate_kbps=1000))
+        est.on_feedback(steady(5, 1000))
+        est.on_feedback(pinned_queue(30, 1000, start=0.1))
+        before = est.estimate_kbps()
+        est.on_loss_report(0.5)
+        assert est.estimate_kbps() <= 0.8 * before
+
+    def test_congestion_loss_cuts_are_spaced(self):
+        """Ten loss reports in a row must not compound to the floor."""
+        est = GccEstimator(GccConfig(initial_rate_kbps=2000))
+        est.on_feedback(steady(5, 2000))
+        est.on_feedback(pinned_queue(30, 2000, start=0.05))
+        for _ in range(10):
+            est.on_loss_report(0.4)
+        # One spaced cut, not ten compounding ones.
+        assert est.estimate_kbps() > 400
+
+
+class TestProbeSignals:
+    def test_peak_queuing_delay_sees_bursts(self):
+        est = GccEstimator()
+        est.on_feedback(steady(10, 1000))
+        # A short burst with a 60 ms spike.
+        spike = [
+            FeedbackSample(0.2 + k * 0.005, 0.2 + k * 0.005 + 0.08, 500)
+            for k in range(5)
+        ]
+        est.on_feedback(spike)
+        assert est.peak_queuing_delay_s() > 0.04
+        # The min-based standing-queue measure stays calm.
+        assert est.queuing_delay_s() < 0.03
+
+    def test_receive_rate_accessor(self):
+        est = GccEstimator()
+        assert est.receive_rate_kbps() is None
+        est.on_feedback(steady(20, 800))
+        assert est.receive_rate_kbps() == pytest.approx(800, rel=0.15)

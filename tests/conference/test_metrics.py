@@ -1,0 +1,78 @@
+"""Unit tests for meeting-level metrics and report aggregation."""
+
+import pytest
+
+from repro.conference.metrics import MeetingReport, ViewReport, vmaf_proxy
+from repro.core.types import Resolution
+from repro.media.jitter_buffer import PlaybackMetrics
+
+
+def view(sub, pub, fps=30.0, stall=0.0, quality=50.0, kbps=800.0):
+    playback = PlaybackMetrics(
+        duration_s=10.0,
+        rendered_frames=int(fps * 10),
+        stall_intervals=int(stall * 10),
+        total_intervals=10,
+        rendered_kbps=kbps,
+    )
+    return ViewReport(
+        subscriber=sub,
+        publisher=pub,
+        playback=playback,
+        top_resolution=Resolution.P360,
+        quality_score=quality,
+    )
+
+
+class TestViewReport:
+    def test_passthrough_properties(self):
+        v = view("a", "b", fps=24.0, stall=0.3)
+        assert v.framerate == pytest.approx(24.0)
+        assert v.stall_rate == pytest.approx(0.3)
+
+
+class TestMeetingReport:
+    def build(self):
+        report = MeetingReport(duration_s=30.0)
+        report.views = [
+            view("a", "b", fps=30, stall=0.0, quality=60),
+            view("b", "a", fps=20, stall=0.4, quality=30),
+        ]
+        report.voice_stall = {"a": 0.1, "b": 0.3}
+        return report
+
+    def test_mean_aggregates(self):
+        r = self.build()
+        assert r.mean_framerate() == pytest.approx(25.0)
+        assert r.mean_video_stall() == pytest.approx(0.2)
+        assert r.mean_quality() == pytest.approx(45.0)
+        assert r.mean_voice_stall() == pytest.approx(0.2)
+
+    def test_empty_report_is_zero(self):
+        r = MeetingReport(duration_s=1.0)
+        assert r.mean_framerate() == 0.0
+        assert r.mean_video_stall() == 0.0
+        assert r.mean_quality() == 0.0
+        assert r.mean_voice_stall() == 0.0
+
+    def test_view_lookup_raises_on_miss(self):
+        r = self.build()
+        assert r.view("a", "b").framerate == 30
+        with pytest.raises(KeyError):
+            r.view("x", "y")
+
+
+class TestVmafProxy:
+    def test_saturates_toward_ceiling(self):
+        nearly = vmaf_proxy(Resolution.P360, 100_000)
+        assert 75 < nearly <= 80  # the 360p ceiling is 80
+
+    def test_half_point(self):
+        # At the half-point bitrate the score is half the ceiling.
+        assert vmaf_proxy(Resolution.P720, 1200) == pytest.approx(
+            95 / 2, rel=0.01
+        )
+
+    def test_every_resolution_defined(self):
+        for res in Resolution:
+            assert vmaf_proxy(res, 500) > 0

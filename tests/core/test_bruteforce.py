@@ -1,0 +1,102 @@
+"""Tests for the brute-force comparators."""
+
+import pytest
+
+from repro.core import Bandwidth, Resolution, StreamSpec, paper_ladder
+from repro.core.bruteforce import (
+    solve_joint_bruteforce,
+    solve_step1_bruteforce,
+    step1_objective,
+)
+from repro.core.constraints import Problem, Subscription
+from repro.core.knapsack import knapsack_step
+
+
+def small_problem():
+    short = [
+        StreamSpec(1500, Resolution.P720, 1200.0),
+        StreamSpec(600, Resolution.P360, 530.0),
+        StreamSpec(300, Resolution.P180, 300.0),
+    ]
+    return Problem(
+        {"A": short, "B": short},
+        {
+            "A": Bandwidth(2000, 1000),
+            "B": Bandwidth(2000, 800),
+            "C": Bandwidth(100, 700),
+        },
+        [
+            Subscription("A", "B", Resolution.P720),
+            Subscription("B", "A", Resolution.P360),
+            Subscription("C", "A", Resolution.P720),
+            Subscription("C", "B", Resolution.P360),
+        ],
+    )
+
+
+class TestStep1Bruteforce:
+    def test_matches_dp_objective(self):
+        p = small_problem()
+        brute = solve_step1_bruteforce(p)
+        dp = knapsack_step(p)
+        assert step1_objective(brute) == pytest.approx(step1_objective(dp))
+
+    def test_objective_of_empty_requests_is_zero(self):
+        assert step1_objective({}) == 0.0
+        assert step1_objective({"A": {}}) == 0.0
+
+
+class TestJointBruteforce:
+    def test_solution_validates(self):
+        p = small_problem()
+        s = solve_joint_bruteforce(p)
+        s.validate(p)
+
+    def test_joint_optimum_dominates_any_single_assignment(self):
+        p = small_problem()
+        s = solve_joint_bruteforce(p)
+        assert s.total_qoe() > 0
+
+    def test_publisher_side_codec_constraint_enforced(self):
+        """Two subscribers that could each afford different 720p bitrates
+        must end up on the same encoding."""
+        ladder = [
+            StreamSpec(1500, Resolution.P720, 1200.0),
+            StreamSpec(1000, Resolution.P720, 750.0),
+        ]
+        p = Problem(
+            {"P": ladder},
+            {
+                "P": Bandwidth(1600, 100),
+                "S1": Bandwidth(100, 1600),
+                "S2": Bandwidth(100, 1100),
+            },
+            [
+                Subscription("S1", "P", Resolution.P720),
+                Subscription("S2", "P", Resolution.P720),
+            ],
+        )
+        s = solve_joint_bruteforce(p)
+        s.validate(p)
+        entries = s.policies["P"]
+        assert len(entries) == 1  # single encoding at 720p
+        # Serving both at 1000 beats serving only S1 at 1500.
+        assert entries[Resolution.P720].bitrate_kbps == 1000
+        assert entries[Resolution.P720].audience == frozenset({"S1", "S2"})
+
+    def test_guards_against_explosive_instances(self):
+        ladder = paper_ladder()
+        clients = [f"C{k}" for k in range(6)]
+        subs = [
+            Subscription(a, b)
+            for a in clients
+            for b in clients
+            if a != b
+        ]
+        p = Problem(
+            {c: ladder for c in clients},
+            {c: Bandwidth(5000, 5000) for c in clients},
+            subs,
+        )
+        with pytest.raises(ValueError, match="too large"):
+            solve_joint_bruteforce(p)

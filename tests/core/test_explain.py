@@ -1,0 +1,70 @@
+"""Tests for the KMR decision tracer."""
+
+import pytest
+
+from repro.core import Bandwidth, ProblemBuilder, Resolution, paper_ladder, solve
+from repro.core.explain import explain_solve
+
+
+def table1_case(bandwidths):
+    builder = ProblemBuilder()
+    ladder = paper_ladder()
+    for client, (up, down) in bandwidths.items():
+        builder.add_client(client, Bandwidth(up, down), ladder)
+    builder.subscribe("A", "B", Resolution.P360)
+    builder.subscribe("A", "C", Resolution.P180)
+    builder.subscribe("B", "A", Resolution.P720)
+    builder.subscribe("B", "C", Resolution.P360)
+    builder.subscribe("C", "B", Resolution.P360)
+    builder.subscribe("C", "A", Resolution.P720)
+    return builder.build()
+
+
+class TestExplain:
+    def test_trace_matches_plain_solve(self):
+        p = table1_case({"A": (5000, 1400), "B": (5000, 3000), "C": (5000, 500)})
+        explained = explain_solve(p)
+        plain = solve(p)
+        assert explained.solution.policies == plain.policies
+        assert explained.solution.assignments == plain.assignments
+        explained.solution.validate(p)
+
+    def test_trace_narrates_all_steps(self):
+        p = table1_case({"A": (5000, 1400), "B": (5000, 3000), "C": (5000, 500)})
+        text = str(explain_solve(p))
+        assert "step 1 (knapsack)" in text
+        assert "step 2 (merge)" in text
+        assert "step 3 (reduction)" in text
+        assert "solution found" in text
+
+    def test_merge_notes_appear_when_requests_differ(self):
+        """In Fig. 5's example, B and C request different 720p bitrates
+        from A; the trace calls out the merge."""
+        p = table1_case({"A": (5000, 2400), "B": (5000, 3000), "C": (5000, 1600)})
+        text = str(explain_solve(p))
+        # The merged-from note appears only when rates actually differed;
+        # assert the trace machinery produces coherent output either way.
+        assert "step 2 (merge)" in text
+        assert "to {" in text
+
+    def test_fix_narration(self):
+        """Case 2's uplink fix (800 -> 600 kbps) shows up in the trace."""
+        p = table1_case({"A": (5000, 5000), "B": (600, 5000), "C": (5000, 5000)})
+        text = str(explain_solve(p))
+        assert "over budget" in text
+        assert "fixed B@360p: 800 -> 600kbps" in text
+
+    def test_reduction_narration(self):
+        from repro.core.constraints import Problem, Subscription
+
+        ladder = paper_ladder()
+        p = Problem(
+            {"A": ladder},
+            {"A": Bandwidth(500, 100), "B": Bandwidth(100, 5000)},
+            [Subscription("B", "A", Resolution.P720)],
+        )
+        explained = explain_solve(p)
+        text = str(explained)
+        assert "unfixable: removing 720p from A's feasible set" in text
+        assert "iteration 2" in text
+        explained.solution.validate(p)

@@ -1,0 +1,75 @@
+"""Unit tests for the upgrade damper (Sec. 7, quality oscillation)."""
+
+import pytest
+
+from repro.core.hysteresis import UpgradeDamper
+
+
+class TestUpgradeDamper:
+    def test_first_measurement_passes(self):
+        d = UpgradeDamper()
+        assert d.filter("A", "downlink", 1000) == 1000
+
+    def test_downgrade_passes_immediately(self):
+        d = UpgradeDamper()
+        d.filter("A", "downlink", 1000)
+        assert d.filter("A", "downlink", 600) == 600
+
+    def test_upgrade_without_prior_downgrade_passes(self):
+        d = UpgradeDamper()
+        d.filter("A", "downlink", 1000)
+        assert d.filter("A", "downlink", 1100) == 1100
+
+    def test_small_upgrade_after_downgrade_is_clamped(self):
+        d = UpgradeDamper(upgrade_margin=0.15)
+        d.filter("A", "downlink", 1000)
+        d.filter("A", "downlink", 600)  # downgrade marks the link
+        assert d.filter("A", "downlink", 650) == 600  # +8% < 15% margin
+
+    def test_confident_upgrade_after_downgrade_passes(self):
+        d = UpgradeDamper(upgrade_margin=0.15)
+        d.filter("A", "downlink", 1000)
+        d.filter("A", "downlink", 600)
+        assert d.filter("A", "downlink", 700) == 700  # +16.7% clears margin
+
+    def test_mark_clears_after_confident_upgrade(self):
+        d = UpgradeDamper(upgrade_margin=0.15)
+        d.filter("A", "downlink", 1000)
+        d.filter("A", "downlink", 600)
+        d.filter("A", "downlink", 700)
+        # No longer marked: small upgrades flow again.
+        assert d.filter("A", "downlink", 720) == 720
+
+    def test_oscillating_measurements_are_flattened(self):
+        """A noisy 600/640 oscillation releases a constant 600."""
+        d = UpgradeDamper(upgrade_margin=0.15)
+        d.filter("A", "downlink", 1000)
+        released = [d.filter("A", "downlink", v) for v in
+                    [600, 640, 605, 638, 612, 645]]
+        assert released == [600] * 6
+
+    def test_links_are_independent(self):
+        d = UpgradeDamper()
+        d.filter("A", "downlink", 1000)
+        d.filter("A", "downlink", 500)
+        assert d.filter("A", "uplink", 800) == 800
+        assert d.filter("B", "downlink", 900) == 900
+
+    def test_reset_clears_client_state(self):
+        d = UpgradeDamper()
+        d.filter("A", "downlink", 1000)
+        d.filter("A", "downlink", 500)
+        d.reset("A")
+        assert d.filter("A", "downlink", 550) == 550
+
+    def test_rejects_unknown_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            UpgradeDamper().filter("A", "sideways", 100)
+
+    def test_rejects_negative_measurement(self):
+        with pytest.raises(ValueError):
+            UpgradeDamper().filter("A", "uplink", -1)
+
+    def test_rejects_negative_margin(self):
+        with pytest.raises(ValueError):
+            UpgradeDamper(upgrade_margin=-0.1)

@@ -1,0 +1,216 @@
+"""Unit and property tests for the MCKP solvers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mckp import (
+    _solve_mckp_dp_python,
+    solve_mckp_dp,
+    solve_mckp_dp_mandatory,
+    solve_mckp_exhaustive,
+)
+
+
+def total_of(classes, picks):
+    weight = sum(
+        classes[ci][i][0] for ci, i in enumerate(picks) if i is not None
+    )
+    value = sum(
+        classes[ci][i][1] for ci, i in enumerate(picks) if i is not None
+    )
+    return weight, value
+
+
+class TestDpBasics:
+    def test_empty_instance(self):
+        sol = solve_mckp_dp([], 100)
+        assert sol.picks == ()
+        assert sol.total_value == 0
+
+    def test_zero_capacity_picks_nothing(self):
+        sol = solve_mckp_dp([[(10, 5.0)]], 0)
+        assert sol.picks == (None,)
+
+    def test_single_item_fits(self):
+        sol = solve_mckp_dp([[(10, 5.0)]], 10)
+        assert sol.picks == (0,)
+        assert sol.total_weight == 10
+
+    def test_single_item_does_not_fit(self):
+        sol = solve_mckp_dp([[(11, 5.0)]], 10)
+        assert sol.picks == (None,)
+
+    def test_picks_best_item_within_class(self):
+        sol = solve_mckp_dp([[(5, 1.0), (6, 9.0), (7, 3.0)]], 10)
+        assert sol.picks == (1,)
+
+    def test_at_most_one_per_class(self):
+        # Two great items in one class; only one may be taken.
+        sol = solve_mckp_dp([[(3, 10.0), (3, 10.0)]], 10)
+        assert sol.total_value == 10.0
+
+    def test_spreads_across_classes(self):
+        classes = [[(4, 4.0)], [(4, 4.0)], [(4, 4.0)]]
+        sol = solve_mckp_dp(classes, 8)
+        assert sol.total_value == 8.0
+        assert sum(1 for p in sol.picks if p is not None) == 2
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            solve_mckp_dp([[(1, 1.0)]], -1)
+
+    def test_rejects_zero_weight_items(self):
+        with pytest.raises(ValueError):
+            solve_mckp_dp([[(0, 1.0)]], 5)
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            solve_mckp_dp([[(1, -1.0)]], 5)
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            solve_mckp_dp([[(1, 1.0)]], 5, granularity=0)
+
+
+class TestGranularity:
+    def test_coarse_grid_never_violates_capacity(self):
+        classes = [[(99, 10.0), (51, 6.0)], [(52, 5.0)]]
+        sol = solve_mckp_dp(classes, 150, granularity=50)
+        assert sol.total_weight <= 150
+
+    def test_exact_grid_matches_exhaustive(self):
+        rng = random.Random(7)
+        for _ in range(25):
+            classes = [
+                [
+                    (rng.randint(1, 40), rng.randint(0, 50) * 1.0)
+                    for _ in range(rng.randint(1, 4))
+                ]
+                for _ in range(rng.randint(1, 4))
+            ]
+            cap = rng.randint(0, 100)
+            dp = solve_mckp_dp(classes, cap)
+            ex = solve_mckp_exhaustive(classes, cap)
+            assert dp.total_value == pytest.approx(ex.total_value)
+            assert dp.total_weight <= cap
+
+
+class TestPythonReferenceParity:
+    def test_numpy_and_python_paths_agree(self):
+        rng = random.Random(11)
+        for _ in range(30):
+            classes = [
+                [
+                    (rng.randint(1, 60), rng.random() * 100)
+                    for _ in range(rng.randint(1, 5))
+                ]
+                for _ in range(rng.randint(0, 5))
+            ]
+            cap = rng.randint(0, 200)
+            g = rng.choice([1, 1, 7])
+            a = solve_mckp_dp(classes, cap, granularity=g)
+            b = _solve_mckp_dp_python(classes, cap, granularity=g)
+            assert a.total_value == pytest.approx(b.total_value)
+            assert a.total_weight <= cap and b.total_weight <= cap
+
+
+class TestMandatory:
+    def test_all_classes_must_pick(self):
+        sol = solve_mckp_dp_mandatory([[(5, 1.0)], [(5, 1.0)]], 10)
+        assert sol is not None
+        assert sol.picks == (0, 0)
+
+    def test_infeasible_returns_none(self):
+        assert solve_mckp_dp_mandatory([[(6, 1.0)], [(6, 1.0)]], 10) is None
+
+    def test_empty_class_is_infeasible(self):
+        assert solve_mckp_dp_mandatory([[(1, 1.0)], []], 10) is None
+
+    def test_no_classes_is_trivially_solved(self):
+        sol = solve_mckp_dp_mandatory([], 10)
+        assert sol is not None
+        assert sol.picks == ()
+
+    def test_maximizes_value_among_feasible(self):
+        classes = [[(3, 1.0), (6, 5.0)], [(4, 2.0), (7, 9.0)]]
+        sol = solve_mckp_dp_mandatory(classes, 10)
+        assert sol is not None
+        # (6,5)+(4,2)=w10 v7  beats (3,1)+(7,9)=w10 v10? no: v10 > v7.
+        assert sol.total_value == 10.0
+        assert sol.total_weight == 10
+
+    def test_matches_exhaustive_filtered(self):
+        rng = random.Random(3)
+        for _ in range(30):
+            classes = [
+                [
+                    (rng.randint(1, 30), rng.random() * 10)
+                    for _ in range(rng.randint(1, 4))
+                ]
+                for _ in range(rng.randint(1, 3))
+            ]
+            cap = rng.randint(0, 60)
+            dp = solve_mckp_dp_mandatory(classes, cap)
+            # Exhaustive reference with mandatory filter.
+            import itertools
+
+            best = None
+            for combo in itertools.product(
+                *[range(len(c)) for c in classes]
+            ):
+                w = sum(classes[ci][i][0] for ci, i in enumerate(combo))
+                v = sum(classes[ci][i][1] for ci, i in enumerate(combo))
+                if w <= cap and (best is None or v > best):
+                    best = v
+            if best is None:
+                assert dp is None
+            else:
+                assert dp is not None
+                assert dp.total_value == pytest.approx(best)
+
+
+# --------------------------------------------------------------------- #
+# Property-based tests
+# --------------------------------------------------------------------- #
+
+items = st.tuples(
+    st.integers(min_value=1, max_value=50),
+    st.floats(min_value=0, max_value=100, allow_nan=False),
+)
+instances = st.tuples(
+    st.lists(st.lists(items, min_size=1, max_size=4), min_size=0, max_size=4),
+    st.integers(min_value=0, max_value=120),
+)
+
+
+@given(instances)
+@settings(max_examples=150, deadline=None)
+def test_dp_solution_is_feasible_and_consistent(instance):
+    classes, cap = instance
+    sol = solve_mckp_dp(classes, cap)
+    weight, value = total_of(classes, sol.picks)
+    assert weight == sol.total_weight <= cap
+    assert value == pytest.approx(sol.total_value)
+
+
+@given(instances)
+@settings(max_examples=100, deadline=None)
+def test_dp_matches_exhaustive_value(instance):
+    classes, cap = instance
+    dp = solve_mckp_dp(classes, cap)
+    ex = solve_mckp_exhaustive(classes, cap)
+    assert dp.total_value == pytest.approx(ex.total_value)
+
+
+@given(instances, st.integers(min_value=2, max_value=25))
+@settings(max_examples=100, deadline=None)
+def test_coarse_granularity_is_feasible_and_bounded(instance, granularity):
+    classes, cap = instance
+    sol = solve_mckp_dp(classes, cap, granularity=granularity)
+    assert sol.total_weight <= cap
+    exact = solve_mckp_dp(classes, cap)
+    # A coarser grid can only lose value, never gain it.
+    assert sol.total_value <= exact.total_value + 1e-9

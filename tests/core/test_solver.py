@@ -1,0 +1,291 @@
+"""Integration tests of the full KMR solver, including the paper's Table 1
+worked examples and the Fig. 3 motivating scenarios."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Bandwidth,
+    GsoSolver,
+    ProblemBuilder,
+    Resolution,
+    SolverConfig,
+    StreamSpec,
+    paper_ladder,
+    solve,
+)
+from repro.core.bruteforce import solve_joint_bruteforce
+from repro.core.constraints import Problem, Subscription
+
+
+def table1_problem(bandwidths):
+    """The Table 1 topology: A<->B<->C full mesh with the paper's caps."""
+    b = ProblemBuilder()
+    ladder = paper_ladder()
+    for client, (up, down) in bandwidths.items():
+        b.add_client(client, Bandwidth(up, down), ladder)
+    b.subscribe("A", "B", Resolution.P360)
+    b.subscribe("A", "C", Resolution.P180)
+    b.subscribe("B", "A", Resolution.P720)
+    b.subscribe("B", "C", Resolution.P360)
+    b.subscribe("C", "B", Resolution.P360)
+    b.subscribe("C", "A", Resolution.P720)
+    return b.build()
+
+
+def published(solution, pub):
+    """{resolution: bitrate} for one publisher."""
+    return {
+        res: e.bitrate_kbps for res, e in solution.policies.get(pub, {}).items()
+    }
+
+
+class TestTable1:
+    """The three worked examples; the paper's final solutions are matched
+    stream-for-stream."""
+
+    def test_case1_downlink_limited(self):
+        p = table1_problem(
+            {"A": (5000, 1400), "B": (5000, 3000), "C": (5000, 500)}
+        )
+        s = solve(p)
+        s.validate(p)
+        assert published(s, "A") == {
+            Resolution.P720: 1500,
+            Resolution.P360: 400,
+        }
+        assert published(s, "B") == {
+            Resolution.P360: 800,
+            Resolution.P180: 100,
+        }
+        assert published(s, "C") == {
+            Resolution.P360: 800,
+            Resolution.P180: 300,
+        }
+
+    def test_case2_uplink_limited(self):
+        p = table1_problem(
+            {"A": (5000, 5000), "B": (600, 5000), "C": (5000, 5000)}
+        )
+        s = solve(p)
+        s.validate(p)
+        assert published(s, "A") == {Resolution.P720: 1500}
+        assert published(s, "B") == {Resolution.P360: 600}
+        assert published(s, "C") == {
+            Resolution.P360: 800,
+            Resolution.P180: 300,
+        }
+
+    def test_case3_uplink_and_downlink_limited(self):
+        p = table1_problem(
+            {"A": (5000, 5000), "B": (600, 700), "C": (5000, 5000)}
+        )
+        s = solve(p)
+        s.validate(p)
+        assert published(s, "A") == {
+            Resolution.P720: 1500,
+            Resolution.P360: 400,
+        }
+        assert published(s, "B") == {Resolution.P360: 600}
+        assert published(s, "C") == {Resolution.P180: 300}
+
+
+class TestFig3Examples:
+    """The Sec. 2.3 motivating examples: GSO's solutions avoid the
+    pathologies of local simulcast."""
+
+    def test_example1_no_unsubscribed_stream_is_published(self):
+        """Fig. 3a/3d: pub1 must not send the 1.5M stream nobody wants."""
+        ladder = [
+            StreamSpec(1500, Resolution.P720, 1200.0),
+            StreamSpec(600, Resolution.P360, 530.0),
+            StreamSpec(300, Resolution.P180, 300.0),
+        ]
+        p = Problem(
+            {"pub1": ladder},
+            {
+                "pub1": Bandwidth(3000, 100),
+                "sub1": Bandwidth(100, 320),
+                "sub2": Bandwidth(100, 650),
+            },
+            [
+                Subscription("sub1", "pub1", Resolution.P180),
+                Subscription("sub2", "pub1", Resolution.P360),
+            ],
+        )
+        s = solve(p)
+        s.validate(p)
+        # Only the two requested streams are configured; 720p is stopped.
+        assert set(published(s, "pub1")) == {Resolution.P360, Resolution.P180}
+        assert s.uplink_usage_kbps("pub1") == 900  # not 2400
+
+    def test_example2_fine_bitrate_fits_just_under_downlink(self):
+        """Fig. 3b/3e: with a 1450 kbps downlink, GSO configures ~1400 kbps
+        instead of collapsing to 600 kbps."""
+        fine_ladder = [
+            StreamSpec(rate, Resolution.P720, float(rate))
+            for rate in range(800, 1501, 100)
+        ]
+        p = Problem(
+            {"pub1": fine_ladder},
+            {"pub1": Bandwidth(3000, 100), "sub1": Bandwidth(100, 1450)},
+            [Subscription("sub1", "pub1", Resolution.P720)],
+        )
+        s = solve(p)
+        s.validate(p)
+        assert published(s, "pub1") == {Resolution.P720: 1400}
+
+    def test_example3_stream_competition_is_shared_fairly(self):
+        """Fig. 3c/3f: with a 2050 kbps downlink and two publishers, both
+        send ~1 Mbps instead of 1.5M + 0.3M."""
+        fine_ladder = [
+            StreamSpec(rate, Resolution.P720, 100.0 * (rate / 100) ** 0.5)
+            for rate in range(300, 1501, 100)
+        ]
+        p = Problem(
+            {"pub1": fine_ladder, "pub2": fine_ladder},
+            {
+                "pub1": Bandwidth(3000, 100),
+                "pub2": Bandwidth(3000, 100),
+                "sub1": Bandwidth(100, 2050),
+            },
+            [
+                Subscription("sub1", "pub1", Resolution.P720),
+                Subscription("sub1", "pub2", Resolution.P720),
+            ],
+        )
+        s = solve(p)
+        s.validate(p)
+        rates = sorted(
+            e.bitrate_kbps
+            for pub in ("pub1", "pub2")
+            for e in s.policies[pub].values()
+        )
+        # Concave QoE drives a fair split: both streams kept, and the gap
+        # between them is at most one 100 kbps rung.
+        assert len(rates) == 2
+        assert rates[1] - rates[0] <= 100
+        assert sum(rates) <= 2050
+
+
+class TestSolverMechanics:
+    def test_solution_is_deterministic(self):
+        p = table1_problem(
+            {"A": (900, 1100), "B": (1300, 800), "C": (700, 2500)}
+        )
+        s1, s2 = solve(p), solve(p)
+        assert s1.policies == s2.policies
+        assert s1.assignments == s2.assignments
+
+    def test_reduction_path_is_exercised(self):
+        """An uplink below the minimum 720p rung forces a Step-3 reduction."""
+        ladder = paper_ladder()
+        p = Problem(
+            {"A": ladder},
+            {"A": Bandwidth(500, 100), "B": Bandwidth(100, 5000)},
+            [Subscription("B", "A", Resolution.P720)],
+        )
+        s = solve(p)
+        s.validate(p)
+        assert ("A", Resolution.P720) in s.reduced
+        assert s.iterations > 1
+        # B still gets the best affordable lower resolution.
+        assert published(s, "A") == {Resolution.P360: 500}
+
+    def test_cascading_reductions_terminate(self):
+        """Uplink below every 360p rung too: two reductions, 180p survives."""
+        ladder = paper_ladder()
+        p = Problem(
+            {"A": ladder},
+            {"A": Bandwidth(350, 100), "B": Bandwidth(100, 5000)},
+            [Subscription("B", "A", Resolution.P720)],
+        )
+        s = solve(p)
+        s.validate(p)
+        assert published(s, "A") == {Resolution.P180: 300}
+        assert len(s.reduced) == 2
+
+    def test_publisher_with_no_feasible_stream_publishes_nothing(self):
+        ladder = paper_ladder()
+        p = Problem(
+            {"A": ladder},
+            {"A": Bandwidth(50, 100), "B": Bandwidth(100, 5000)},
+            [Subscription("B", "A", Resolution.P720)],
+        )
+        s = solve(p)
+        s.validate(p)
+        assert s.policies.get("A", {}) == {}
+        assert s.assignments.get("B", {}) == {}
+
+    def test_empty_problem(self):
+        p = Problem({}, {}, [])
+        s = solve(p)
+        assert s.policies == {} and s.assignments == {}
+
+    def test_stats_reports_iterations_and_time(self):
+        p = table1_problem(
+            {"A": (5000, 1400), "B": (5000, 3000), "C": (5000, 500)}
+        )
+        _, stats = GsoSolver().solve_with_stats(p)
+        assert stats.iterations == 1
+        assert stats.wall_time_s > 0
+
+    def test_granularity_config_still_feasible(self):
+        p = table1_problem(
+            {"A": (5000, 1400), "B": (5000, 3000), "C": (5000, 500)}
+        )
+        s = GsoSolver(SolverConfig(granularity_kbps=50)).solve(p)
+        s.validate(p)
+
+    def test_config_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SolverConfig(granularity_kbps=0)
+        with pytest.raises(ValueError):
+            SolverConfig(max_iterations=0)
+
+
+class TestAgainstJointBruteforce:
+    """Randomized small meetings: KMR's Step-1 objective must stay near the
+    exact joint optimum, and its solutions must always validate."""
+
+    @staticmethod
+    def random_problem(rng):
+        n = rng.randint(2, 3)
+        clients = [f"C{k}" for k in range(n)]
+        short_ladder = [
+            StreamSpec(1500, Resolution.P720, 1200.0),
+            StreamSpec(600, Resolution.P360, 530.0),
+            StreamSpec(300, Resolution.P180, 300.0),
+        ]
+        caps = [Resolution.P720, Resolution.P360, Resolution.P180]
+        subs = []
+        for sub in clients:
+            for pub in clients:
+                if sub != pub and rng.random() < 0.8:
+                    subs.append(Subscription(sub, pub, rng.choice(caps)))
+        return Problem(
+            {c: short_ladder for c in clients},
+            {
+                c: Bandwidth(
+                    rng.choice([400, 900, 2200, 5000]),
+                    rng.choice([400, 900, 2200, 5000]),
+                )
+                for c in clients
+            },
+            subs,
+        )
+
+    def test_randomized_validity_and_near_optimality(self):
+        rng = random.Random(42)
+        for _ in range(40):
+            p = self.random_problem(rng)
+            s = solve(p)
+            s.validate(p)
+            exact = solve_joint_bruteforce(p)
+            exact.validate(p)
+            assert exact.total_qoe() >= s.total_qoe() - 1e-9
+            if exact.total_qoe() > 0:
+                # The KMR heuristic sacrifices optimality only through merge
+                # and reduction; on these small meshes it stays close.
+                assert s.total_qoe() >= 0.5 * exact.total_qoe()

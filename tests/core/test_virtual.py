@@ -1,0 +1,130 @@
+"""Tests for virtual publishers and screen-share entities (Sec. 4.4)."""
+
+import pytest
+
+from repro.core import (
+    Bandwidth,
+    ProblemBuilder,
+    Resolution,
+    paper_ladder,
+    screen_id,
+    solve,
+)
+from repro.core.types import StreamSpec
+
+
+def screen_ladder():
+    return [
+        StreamSpec(1200, Resolution.P720, 1100.0),
+        StreamSpec(350, Resolution.P360, 400.0),
+    ]
+
+
+class TestBuilder:
+    def test_duplicate_client_rejected(self):
+        b = ProblemBuilder()
+        b.add_client("A", Bandwidth(1, 1))
+        with pytest.raises(ValueError, match="already added"):
+            b.add_client("A", Bandwidth(1, 1))
+
+    def test_screen_share_requires_known_client(self):
+        with pytest.raises(ValueError, match="unknown client"):
+            ProblemBuilder().add_screen_share("ghost", screen_ladder())
+
+    def test_duplicate_screen_share_rejected(self):
+        b = ProblemBuilder()
+        b.add_client("A", Bandwidth(1, 1))
+        b.add_screen_share("A", screen_ladder())
+        with pytest.raises(ValueError, match="already shares"):
+            b.add_screen_share("A", screen_ladder())
+
+
+class TestSpeakerFirst:
+    def build(self, viewer_down=2000):
+        b = ProblemBuilder()
+        ladder = paper_ladder()
+        b.add_client("speaker", Bandwidth(5000, 100), ladder)
+        b.add_client("viewer", Bandwidth(100, viewer_down))
+        vid = b.subscribe_dual(
+            "viewer",
+            "speaker",
+            primary_max=Resolution.P720,
+            secondary_max=Resolution.P180,
+        )
+        return b.build(), vid
+
+    def test_dual_subscription_yields_two_streams(self):
+        p, vid = self.build()
+        s = solve(p)
+        s.validate(p)
+        got = s.assignments["viewer"]
+        assert set(got) == {"speaker", vid}
+        resolutions = {stream.resolution for stream in got.values()}
+        assert Resolution.P180 in resolutions
+        assert max(resolutions) > Resolution.P180
+
+    def test_merged_uplink_accounting(self):
+        """Both streams count against the speaker's single uplink."""
+        p, _ = self.build()
+        s = solve(p)
+        total = s.uplink_usage_kbps("speaker")
+        assert total <= 5000
+        # Policies live under the canonical publisher only.
+        assert all("#virtual" not in pub for pub in s.policies)
+
+    def test_tight_downlink_degrades_gracefully(self):
+        p, vid = self.build(viewer_down=450)
+        s = solve(p)
+        s.validate(p)
+        got = s.assignments["viewer"]
+        assert sum(x.bitrate_kbps for x in got.values()) <= 450
+
+    def test_same_resolution_requests_collapse(self):
+        """If both edges end up at the same resolution, the audience holds
+        the subscriber once and both assignments share the stream."""
+        b = ProblemBuilder()
+        ladder = [StreamSpec(300, Resolution.P180, 300.0)]
+        b.add_client("speaker", Bandwidth(5000, 100), ladder)
+        b.add_client("viewer", Bandwidth(100, 5000))
+        vid = b.subscribe_dual(
+            "viewer",
+            "speaker",
+            primary_max=Resolution.P180,
+            secondary_max=Resolution.P180,
+        )
+        p = b.build()
+        s = solve(p)
+        s.validate(p)
+        assert s.assignments["viewer"]["speaker"] == (
+            s.assignments["viewer"][vid]
+        )
+
+
+class TestScreenShare:
+    def build(self, uplink=5000):
+        b = ProblemBuilder()
+        ladder = paper_ladder()
+        b.add_client("presenter", Bandwidth(uplink, 100), ladder)
+        b.add_client("viewer", Bandwidth(100, 5000))
+        sid = b.add_screen_share("presenter", screen_ladder())
+        b.subscribe("viewer", "presenter", Resolution.P360)
+        b.subscribe("viewer", sid, Resolution.P720)
+        return b.build(), sid
+
+    def test_camera_and_screen_both_published(self):
+        p, sid = self.build()
+        s = solve(p)
+        s.validate(p)
+        assert s.assignments["viewer"][sid].resolution == Resolution.P720
+        assert s.assignments["viewer"]["presenter"].resolution <= Resolution.P360
+
+    def test_screen_and_camera_share_uplink(self):
+        """A tight uplink forces the camera+screen total under budget."""
+        p, sid = self.build(uplink=1400)
+        s = solve(p)
+        s.validate(p)
+        total = s.uplink_usage_kbps("presenter") + s.uplink_usage_kbps(sid)
+        assert total <= 1400
+
+    def test_screen_id_helper(self):
+        assert screen_id("X") == "X:screen"

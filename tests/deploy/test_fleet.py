@@ -1,0 +1,186 @@
+"""Tests for the fleet/deployment simulation (Figs. 10-12 substrate)."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.deploy import (
+    ConferenceScorer,
+    DeploymentSimulation,
+    FleetSampler,
+    IntervalProcess,
+    RolloutSchedule,
+    SatisfactionModel,
+    empirical_cdf,
+    normalize,
+)
+from repro.deploy.fleet import score_subscriber
+from repro.deploy.rollout import DEPLOY_FULL, DEPLOY_START
+
+
+class TestFleetSampler:
+    def test_sizes_at_least_two(self):
+        rng = random.Random(1)
+        sampler = FleetSampler(rng)
+        for _ in range(50):
+            assert sampler.sample_conference().size >= 2
+
+    def test_size_cap(self):
+        rng = random.Random(2)
+        sampler = FleetSampler(rng, mean_size=20, max_size=10)
+        assert all(
+            sampler.sample_conference().size <= 10 for _ in range(30)
+        )
+
+    def test_day_quality_scales_bandwidth(self):
+        rng1, rng2 = random.Random(3), random.Random(3)
+        a = FleetSampler(rng1).sample_conference(day_quality=1.0)
+        b = FleetSampler(rng2).sample_conference(day_quality=2.0)
+        assert sum(c.downlink_kbps for c in b.clients) > sum(
+            c.downlink_kbps for c in a.clients
+        )
+
+    def test_rejects_tiny_mean(self):
+        with pytest.raises(ValueError):
+            FleetSampler(random.Random(0), mean_size=1.0)
+
+
+class TestScoring:
+    def test_healthy_link_is_clean(self):
+        v, a, f = score_subscriber(utilization=0.5, loss_rate=0.0)
+        assert v == 0 and a == 0 and f == 30
+
+    def test_overload_degrades_everything(self):
+        v, a, f = score_subscriber(utilization=1.3, loss_rate=0.0)
+        assert v > 0.3 and a > 0 and f < 25
+
+    def test_loss_contributes_independently(self):
+        v, a, f = score_subscriber(utilization=0.5, loss_rate=0.05)
+        assert v > 0 and a > 0 and f < 30
+
+    def test_gso_beats_nongso_on_average(self):
+        rng = random.Random(7)
+        sampler = FleetSampler(rng)
+        scorer = ConferenceScorer()
+        gso_v = non_v = 0.0
+        for _ in range(60):
+            conf = sampler.sample_conference()
+            gso_v += scorer.score_gso(conf).video_stall
+            non_v += scorer.score_nongso(conf).video_stall
+        assert gso_v < non_v
+
+
+class TestRollout:
+    def test_coverage_ramp(self):
+        sched = RolloutSchedule()
+        assert sched.coverage(dt.date(2021, 10, 15)) == 0.0
+        assert sched.coverage(DEPLOY_START) == 0.0
+        mid = DEPLOY_START + (DEPLOY_FULL - DEPLOY_START) / 2
+        assert 0.4 < sched.coverage(mid) < 0.6
+        assert sched.coverage(DEPLOY_FULL) == 1.0
+        assert sched.coverage(dt.date(2022, 1, 10)) == 1.0
+
+    def test_bad_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            RolloutSchedule(start=dt.date(2021, 12, 1), full=dt.date(2021, 11, 1))
+
+    def test_day_is_deterministic(self):
+        sim = DeploymentSimulation(conferences_per_day=40)
+        a = sim.run_day(dt.date(2021, 12, 25))
+        b = sim.run_day(dt.date(2021, 12, 25))
+        assert a.video_stall == b.video_stall
+
+    def test_metrics_improve_with_coverage(self):
+        sim = DeploymentSimulation(conferences_per_day=120)
+        before = sim.run_day(dt.date(2021, 11, 2))  # Tuesday, cov 0
+        after = sim.run_day(dt.date(2022, 1, 4))  # Tuesday, cov 1
+        assert after.video_stall < before.video_stall
+        assert after.voice_stall < before.voice_stall
+        assert after.framerate > before.framerate
+
+    def test_normalize(self):
+        assert normalize([2.0, 4.0, 1.0]) == [0.5, 1.0, 0.25]
+        assert normalize([]) == []
+        assert normalize([0.0, 0.0]) == [0.0, 0.0]
+
+
+class TestSatisfaction:
+    def test_perfect_experience_scores_high(self):
+        model = SatisfactionModel()
+        assert model.score(0.0, 0.0, 30.0) > 0.85
+
+    def test_stalls_hurt(self):
+        model = SatisfactionModel()
+        assert model.score(0.3, 0.0, 30.0) < model.score(0.0, 0.0, 30.0)
+        assert model.score(0.0, 0.3, 30.0) < model.score(0.0, 0.0, 30.0)
+
+    def test_framerate_hurts_below_nominal(self):
+        model = SatisfactionModel()
+        assert model.score(0.0, 0.0, 15.0) < model.score(0.0, 0.0, 30.0)
+
+
+class TestIntervalProcess:
+    def test_bounds_respected(self):
+        proc = IntervalProcess()
+        rng = random.Random(4)
+        samples = proc.sample_many(2000, rng)
+        assert min(samples) >= 1.0
+        assert max(samples) <= 3.0
+
+    def test_mean_close_to_deployment(self):
+        """Sec. 6: 'orchestrates streams every 1.8 s on average'."""
+        proc = IntervalProcess()
+        assert proc.mean() == pytest.approx(1.8, abs=0.15)
+        rng = random.Random(5)
+        samples = proc.sample_many(20_000, rng)
+        assert sum(samples) / len(samples) == pytest.approx(
+            proc.mean(), abs=0.03
+        )
+
+    def test_analytic_cdf_matches_samples(self):
+        proc = IntervalProcess()
+        rng = random.Random(6)
+        samples = proc.sample_many(20_000, rng)
+        for t in (1.2, 1.8, 2.5):
+            empirical = sum(1 for s in samples if s <= t) / len(samples)
+            assert empirical == pytest.approx(proc.cdf(t), abs=0.02)
+
+    def test_cdf_edges(self):
+        proc = IntervalProcess()
+        assert proc.cdf(0.5) == 0.0
+        assert proc.cdf(3.0) == 1.0
+
+    def test_empirical_cdf_shape(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0], points=4)
+        assert cdf[0][1] > 0  # at least the first sample
+        assert cdf[-1][1] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntervalProcess(event_rate_hz=0)
+        with pytest.raises(ValueError):
+            IntervalProcess(min_interval_s=4, max_interval_s=3)
+
+
+class TestTailMetrics:
+    def test_p95_at_least_mean(self):
+        import datetime as dt
+
+        sim = DeploymentSimulation(conferences_per_day=80)
+        p = sim.run_day(dt.date(2021, 10, 12))
+        assert p.video_stall_p95 >= p.video_stall
+        assert p.voice_stall_p95 >= p.voice_stall
+
+    def test_gso_improves_the_tail(self):
+        """The paper's long-tail argument: full deployment improves the
+        p95 conference at least as much as it improves the mean."""
+        import datetime as dt
+
+        sim = DeploymentSimulation(conferences_per_day=200)
+        before = sim.run_day(dt.date(2021, 11, 2))
+        after = sim.run_day(dt.date(2022, 1, 4))
+        assert after.video_stall_p95 < before.video_stall_p95
+        mean_cut = 1 - after.video_stall / before.video_stall
+        tail_cut = 1 - after.video_stall_p95 / before.video_stall_p95
+        assert tail_cut > 0.5 * mean_cut

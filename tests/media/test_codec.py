@@ -1,0 +1,164 @@
+"""Unit tests for the simulcast encoder, packetizer, and CPU model."""
+
+import pytest
+
+from repro.core.types import Resolution
+from repro.media.codec import (
+    KEYFRAME_SIZE_FACTOR,
+    MTU_PAYLOAD_BYTES,
+    CpuModel,
+    SimulcastEncoder,
+    packetize,
+)
+
+
+class TestSimulcastEncoder:
+    def make(self, **targets):
+        enc = SimulcastEncoder(fps=30)
+        enc.configure(
+            {
+                Resolution[k]: v
+                for k, v in (targets or {"P720": 1500, "P180": 300}).items()
+            }
+        )
+        return enc
+
+    def test_one_frame_per_active_encoding(self):
+        enc = self.make()
+        frames = enc.encode(0, now_s=0.0)
+        assert [f.resolution for f in frames] == [
+            Resolution.P720,
+            Resolution.P180,
+        ]
+
+    def test_first_frame_is_keyframe(self):
+        enc = self.make()
+        frames = enc.encode(0, 0.0)
+        assert all(f.is_keyframe for f in frames)
+
+    def test_keyframe_cadence(self):
+        enc = SimulcastEncoder(fps=30, keyframe_interval_s=1.0)
+        enc.configure({Resolution.P360: 600})
+        keyframes = [
+            enc.encode(k, k / 30.0)[0].is_keyframe for k in range(61)
+        ]
+        assert keyframes[0] and keyframes[30] and keyframes[60]
+        assert sum(keyframes) == 3
+
+    def test_keyframes_are_larger(self):
+        enc = self.make()
+        key = enc.encode(0, 0.0)[0]
+        delta = enc.encode(1, 1 / 30)[0]
+        assert key.size_bytes == pytest.approx(
+            delta.size_bytes * KEYFRAME_SIZE_FACTOR, rel=0.01
+        )
+
+    def test_long_run_average_matches_target(self):
+        enc = SimulcastEncoder(fps=30, keyframe_interval_s=2.0)
+        enc.configure({Resolution.P720: 1200})
+        total = sum(
+            enc.encode(k, k / 30.0)[0].size_bytes for k in range(300)
+        )
+        avg_kbps = total * 8 / (300 / 30.0) / 1000
+        assert avg_kbps == pytest.approx(1200, rel=0.05)
+
+    def test_configure_stops_absent_resolutions(self):
+        enc = self.make()
+        enc.configure({Resolution.P720: 1000})
+        frames = enc.encode(5, 0.2)
+        assert [f.resolution for f in frames] == [Resolution.P720]
+
+    def test_zero_bitrate_stops_encoding(self):
+        enc = self.make()
+        enc.set_bitrate(Resolution.P720, 0)
+        assert Resolution.P720 not in enc.active_encodings
+
+    def test_restarted_encoding_leads_with_keyframe(self):
+        enc = self.make()
+        for k in range(10):
+            enc.encode(k, k / 30)
+        enc.set_bitrate(Resolution.P720, 0)
+        enc.encode(10, 10 / 30)
+        enc.set_bitrate(Resolution.P720, 1000)
+        frames = enc.encode(11, 11 / 30)
+        p720 = [f for f in frames if f.resolution == Resolution.P720][0]
+        assert p720.is_keyframe
+
+    def test_request_keyframe(self):
+        enc = self.make()
+        enc.encode(0, 0.0)
+        enc.request_keyframe(Resolution.P720)
+        frames = enc.encode(1, 1 / 30)
+        p720 = [f for f in frames if f.resolution == Resolution.P720][0]
+        assert p720.is_keyframe
+
+    def test_total_target(self):
+        enc = self.make(P720=1500, P180=300)
+        assert enc.total_target_kbps == 1800
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulcastEncoder(fps=0)
+        with pytest.raises(ValueError):
+            SimulcastEncoder(keyframe_interval_s=0)
+
+
+class TestPacketize:
+    def frame(self, size):
+        from repro.media.codec import EncodedFrame
+
+        return EncodedFrame(
+            resolution=Resolution.P720,
+            frame_index=0,
+            size_bytes=size,
+            is_keyframe=False,
+            capture_time_s=1.0,
+        )
+
+    def test_small_frame_single_packet(self):
+        packets = packetize(self.frame(500), ssrc=1, seq_start=10)
+        assert len(packets) == 1
+        assert packets[0].marker
+        assert packets[0].seq == 10
+
+    def test_large_frame_splits_at_mtu(self):
+        packets = packetize(self.frame(MTU_PAYLOAD_BYTES * 2 + 100), ssrc=1, seq_start=0)
+        assert len(packets) == 3
+        assert [p.marker for p in packets] == [False, False, True]
+        assert sum(len(p.payload) for p in packets) == MTU_PAYLOAD_BYTES * 2 + 100
+
+    def test_packets_share_timestamp(self):
+        packets = packetize(self.frame(5000), ssrc=1, seq_start=0)
+        assert len({p.timestamp for p in packets}) == 1
+
+    def test_seq_wraps(self):
+        packets = packetize(self.frame(3000), ssrc=1, seq_start=65_535)
+        assert [p.seq for p in packets] == [65_535, 0, 1]
+
+
+class TestCpuModel:
+    def test_encode_cost_scales_with_pixels(self):
+        cpu = CpuModel()
+        hi = cpu.encode_frame_mcycles(Resolution.P720, 1500)
+        lo = cpu.encode_frame_mcycles(Resolution.P180, 300)
+        assert hi > 10 * lo
+
+    def test_decode_cheaper_than_encode(self):
+        cpu = CpuModel()
+        assert cpu.decode_frame_mcycles(
+            Resolution.P720, 1500
+        ) < cpu.encode_frame_mcycles(Resolution.P720, 1500)
+
+    def test_encode_utilization_reasonable(self):
+        cpu = CpuModel()
+        util = cpu.encode_utilization({Resolution.P720: 1500}, fps=30)
+        assert 0.05 < util < 0.3  # mobile-SoC ballpark
+
+    def test_extra_small_stream_adds_little(self):
+        """The GSO delta: adding a 180p stream costs ~order 1 % CPU."""
+        cpu = CpuModel()
+        base = cpu.encode_utilization({Resolution.P720: 1500}, fps=30)
+        with_extra = cpu.encode_utilization(
+            {Resolution.P720: 1500, Resolution.P180: 300}, fps=30
+        )
+        assert 0 < with_extra - base < 0.02

@@ -1,0 +1,182 @@
+"""Unit tests for frame reassembly and playback metrics."""
+
+import pytest
+
+from repro.core.types import Resolution
+from repro.media.codec import EncodedFrame, packetize
+from repro.media.jitter_buffer import (
+    VideoJitterBuffer,
+    compute_playback_metrics,
+)
+
+
+def frame_packets(index, size=3000, t=None, ssrc=1, seq_start=0):
+    frame = EncodedFrame(
+        resolution=Resolution.P360,
+        frame_index=index,
+        size_bytes=size,
+        is_keyframe=False,
+        capture_time_s=t if t is not None else index / 30.0,
+    )
+    return packetize(frame, ssrc=ssrc, seq_start=seq_start)
+
+
+class TestVideoJitterBuffer:
+    def test_complete_frame_renders(self):
+        buf = VideoJitterBuffer(playout_delay_s=0.0)
+        rendered = [buf.on_packet(p, now_s=0.1) for p in frame_packets(0)]
+        assert rendered[-1] is not None
+        assert len(buf.render_times) == 1
+
+    def test_incomplete_frame_does_not_render(self):
+        buf = VideoJitterBuffer()
+        packets = frame_packets(0)
+        for p in packets[:-1]:
+            assert buf.on_packet(p, now_s=0.1) is None
+        assert buf.render_times == []
+
+    def test_missing_middle_packet_blocks_render(self):
+        buf = VideoJitterBuffer()
+        packets = frame_packets(0, size=4000)
+        assert len(packets) >= 3
+        buf.on_packet(packets[0], 0.1)
+        buf.on_packet(packets[-1], 0.12)  # marker present but hole remains
+        assert buf.render_times == []
+
+    def test_out_of_order_within_frame_renders(self):
+        buf = VideoJitterBuffer(playout_delay_s=0.0)
+        packets = frame_packets(0, size=4000)
+        for p in reversed(packets):
+            buf.on_packet(p, 0.1)
+        assert len(buf.render_times) == 1
+
+    def test_adaptive_playout_targets_capture_plus_offset(self):
+        """A frame captured at t=0 arriving at t=0.1 renders at
+        capture + (lateness + margin) — the adaptive de-jitter offset."""
+        buf = VideoJitterBuffer(playout_delay_s=0.05)
+        t = None
+        for p in frame_packets(0, t=0.0):
+            t = buf.on_packet(p, now_s=0.1)
+        assert t == pytest.approx(0.12)  # 0.1 lateness + 0.02 margin
+
+    def test_playout_offset_grows_with_late_frames_and_decays(self):
+        buf = VideoJitterBuffer(playout_delay_s=0.05)
+        for p in frame_packets(0, t=0.0, seq_start=0):
+            buf.on_packet(p, now_s=0.30)  # very late frame
+        grown = buf._playout_offset_s
+        assert grown > 0.30
+        # Subsequent punctual frames decay the offset slowly.
+        for k in range(1, 40):
+            for p in frame_packets(k, t=k / 30.0, seq_start=100 + 10 * k):
+                buf.on_packet(p, now_s=k / 30.0 + 0.05)
+        assert buf._playout_offset_s < grown
+
+    def test_jittered_arrivals_render_smoothly(self):
+        """With +-80 ms arrival jitter the adaptive offset absorbs the
+        variance: rendered inter-frame gaps stay below the stall bound."""
+        import random
+
+        rng = random.Random(3)
+        buf = VideoJitterBuffer(playout_delay_s=0.05)
+        for k in range(90):
+            arrival = k / 30.0 + 0.02 + rng.uniform(0, 0.16)
+            for p in frame_packets(k, t=k / 30.0, seq_start=10 * k):
+                buf.on_packet(p, arrival)
+        renders = sorted(buf.render_times)[10:]  # skip adaptation ramp
+        gaps = [b - a for a, b in zip(renders, renders[1:])]
+        assert max(gaps) < 0.2
+
+    def test_stale_frame_expires_as_lost(self):
+        buf = VideoJitterBuffer(loss_deadline_s=0.2)
+        packets0 = frame_packets(0, seq_start=0)
+        buf.on_packet(packets0[0], 0.0)  # incomplete forever
+        # A later frame arriving past the deadline expires frame 0.
+        for p in frame_packets(1, seq_start=100):
+            buf.on_packet(p, 0.5)
+        assert buf.frames_lost >= 1
+        assert len(buf.render_times) == 1
+
+    def test_late_packets_of_skipped_frames_ignored(self):
+        buf = VideoJitterBuffer(playout_delay_s=0.0)
+        for p in frame_packets(5, seq_start=50, t=5 / 30.0):
+            buf.on_packet(p, 0.3)
+        stale = frame_packets(1, seq_start=10, t=1 / 30.0)
+        assert buf.on_packet(stale[0], 0.31) is None
+        assert len(buf.render_times) == 1
+
+    def test_rendered_bytes_accumulate(self):
+        buf = VideoJitterBuffer(playout_delay_s=0.0)
+        for p in frame_packets(0, size=3000):
+            buf.on_packet(p, 0.1)
+        assert buf.rendered_bytes == 3000
+
+
+class TestPlaybackMetrics:
+    def test_steady_stream_no_stalls(self):
+        times = [k / 30.0 for k in range(300)]  # 30 fps for 10 s
+        m = compute_playback_metrics(times, 0.0, 10.0)
+        assert m.stall_rate == 0.0
+        assert m.framerate == pytest.approx(30.0, rel=0.01)
+
+    def test_gap_creates_stall_interval(self):
+        times = [k / 30.0 for k in range(90)] + [
+            3.0 + 0.5 + k / 30.0 for k in range(90)
+        ]  # 500 ms freeze at t=3
+        m = compute_playback_metrics(times, 0.0, 6.0)
+        assert m.stall_intervals >= 1
+        assert m.stall_rate < 0.5
+
+    def test_empty_window_fully_stalled(self):
+        m = compute_playback_metrics([], 0.0, 5.0)
+        assert m.stall_rate == 1.0
+        assert m.framerate == 0.0
+
+    def test_bitrate_computed(self):
+        times = [k / 30.0 for k in range(30)]
+        m = compute_playback_metrics(times, 0.0, 1.0, rendered_bytes=125_000)
+        assert m.rendered_kbps == pytest.approx(1000.0)
+
+    def test_threshold_is_200ms(self):
+        # 150 ms gaps: fine.  250 ms gaps: stalls.
+        fine = [k * 0.15 for k in range(40)]
+        m_fine = compute_playback_metrics(fine, 0.0, 6.0)
+        assert m_fine.stall_rate == 0.0
+        coarse = [k * 0.25 for k in range(24)]
+        m_coarse = compute_playback_metrics(coarse, 0.0, 6.0)
+        assert m_coarse.stall_rate == 1.0
+
+
+class TestJitterBufferProperties:
+    def test_arbitrary_packet_streams_never_crash(self):
+        """Fuzz: random (seq, timestamp, marker) packets in random order —
+        the buffer must stay consistent and never render more frames than
+        distinct timestamps."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        from repro.rtp.packet import RtpPacket
+
+        packet_strategy = st.tuples(
+            st.integers(0, 50),        # seq
+            st.sampled_from([0, 3000, 6000, 9000, 12000]),  # timestamp
+            st.booleans(),             # marker
+            st.floats(0.0, 2.0),       # arrival time
+        )
+
+        @given(st.lists(packet_strategy, max_size=60))
+        @settings(max_examples=120, deadline=None)
+        def run(packets):
+            buf = VideoJitterBuffer(playout_delay_s=0.0)
+            for seq, ts, marker, now in sorted(packets, key=lambda p: p[3]):
+                rtp = RtpPacket(
+                    ssrc=1,
+                    seq=seq,
+                    timestamp=ts,
+                    marker=marker,
+                    payload=b"x" * 10,
+                )
+                buf.on_packet(rtp, now)
+            distinct_ts = len({ts for _, ts, _, _ in packets})
+            assert len(buf.render_times) <= distinct_ts
+            assert all(t >= 0 for t in buf.render_times)
+
+        run()

@@ -1,0 +1,27 @@
+"""Unit tests for the network packet model."""
+
+import pytest
+
+from repro.net.packet import IP_UDP_OVERHEAD_BYTES, Packet, packet_for_bytes
+
+
+class TestPacket:
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            Packet(payload=b"", size_bytes=0)
+
+    def test_unique_ids(self):
+        a = Packet(payload=b"", size_bytes=1)
+        b = Packet(payload=b"", size_bytes=1)
+        assert a.packet_id != b.packet_id
+
+    def test_packet_for_bytes_adds_overhead(self):
+        p = packet_for_bytes(b"x" * 100, src="a", dst="b")
+        assert p.size_bytes == 100 + IP_UDP_OVERHEAD_BYTES
+        assert p.src == "a" and p.dst == "b"
+        assert p.payload == b"x" * 100
+
+    def test_defaults(self):
+        p = Packet(payload=None, size_bytes=5)
+        assert p.ecn_marked is False
+        assert p.sent_at == 0.0

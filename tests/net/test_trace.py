@@ -1,0 +1,49 @@
+"""Unit tests for bandwidth traces."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.simulator import Simulator
+from repro.net.trace import BandwidthStep, BandwidthTrace
+
+
+class TestBandwidthStep:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            BandwidthStep(-1.0, 100)
+
+    def test_rejects_non_positive_bandwidth(self):
+        with pytest.raises(ValueError):
+            BandwidthStep(1.0, 0)
+
+
+class TestBandwidthTrace:
+    def test_steps_sorted_by_time(self):
+        trace = BandwidthTrace(
+            [BandwidthStep(5.0, 100), BandwidthStep(1.0, 200)]
+        )
+        assert [s.time_s for s in trace.steps] == [1.0, 5.0]
+
+    def test_fig7_schedule_shape(self):
+        trace = BandwidthTrace.step_schedule(
+            initial_kbps=1500, steps=[(20.0, 750.0)], recover_at_s=57.0
+        )
+        assert trace.value_at(10.0, 1500) == 1500
+        assert trace.value_at(30.0, 1500) == 750
+        assert trace.value_at(60.0, 1500) == 1500
+
+    def test_apply_drives_the_link(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_kbps=1500)
+        trace = BandwidthTrace.step_schedule(
+            initial_kbps=1500, steps=[(20.0, 750.0)], recover_at_s=57.0
+        )
+        trace.apply(sim, link)
+        sim.run_until(25.0)
+        assert link.bandwidth_kbps == 750
+        sim.run_until(60.0)
+        assert link.bandwidth_kbps == 1500
+
+    def test_no_recover_when_zero(self):
+        trace = BandwidthTrace.step_schedule(1000, [(5.0, 100.0)])
+        assert len(trace.steps) == 1

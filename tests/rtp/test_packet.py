@@ -1,0 +1,117 @@
+"""Unit tests for RTP packet serialization (RFC 3550 + RFC 8285 TWCC ext)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtp.packet import (
+    RTP_HEADER_LEN,
+    RtpPacket,
+    seq_distance,
+    seq_less_than,
+)
+
+
+class TestRoundTrip:
+    def test_basic_round_trip(self):
+        p = RtpPacket(ssrc=0x1234, seq=77, timestamp=90_000, payload=b"abc")
+        q = RtpPacket.parse(p.serialize())
+        assert q == p
+
+    def test_marker_and_payload_type(self):
+        p = RtpPacket(
+            ssrc=1, seq=2, timestamp=3, payload_type=111, marker=True
+        )
+        q = RtpPacket.parse(p.serialize())
+        assert q.marker is True
+        assert q.payload_type == 111
+
+    def test_twcc_extension_round_trip(self):
+        p = RtpPacket(ssrc=9, seq=1, timestamp=5, twcc_seq=40_000)
+        wire = p.serialize()
+        q = RtpPacket.parse(wire)
+        assert q.twcc_seq == 40_000
+        assert q.payload == b""
+
+    def test_extension_adds_eight_bytes(self):
+        bare = RtpPacket(ssrc=9, seq=1, timestamp=5, payload=b"xy")
+        ext = bare.with_twcc_seq(7)
+        assert len(ext.serialize()) == len(bare.serialize()) + 8
+        assert ext.wire_size == len(ext.serialize())
+
+    def test_with_twcc_seq_strips_extension(self):
+        p = RtpPacket(ssrc=9, seq=1, timestamp=5, twcc_seq=7)
+        assert p.with_twcc_seq(None).twcc_seq is None
+
+    def test_wire_size_matches_serialization(self):
+        p = RtpPacket(ssrc=9, seq=1, timestamp=5, payload=b"x" * 100)
+        assert p.wire_size == len(p.serialize()) == RTP_HEADER_LEN + 100
+
+
+class TestValidation:
+    def test_rejects_out_of_range_fields(self):
+        with pytest.raises(ValueError):
+            RtpPacket(ssrc=2**32, seq=0, timestamp=0)
+        with pytest.raises(ValueError):
+            RtpPacket(ssrc=0, seq=2**16, timestamp=0)
+        with pytest.raises(ValueError):
+            RtpPacket(ssrc=0, seq=0, timestamp=2**32)
+        with pytest.raises(ValueError):
+            RtpPacket(ssrc=0, seq=0, timestamp=0, payload_type=128)
+        with pytest.raises(ValueError):
+            RtpPacket(ssrc=0, seq=0, timestamp=0, twcc_seq=2**16)
+
+    def test_parse_rejects_short_input(self):
+        with pytest.raises(ValueError, match="too short"):
+            RtpPacket.parse(b"\x80\x60")
+
+    def test_parse_rejects_wrong_version(self):
+        data = bytearray(
+            RtpPacket(ssrc=1, seq=1, timestamp=1).serialize()
+        )
+        data[0] = 0x00  # version 0
+        with pytest.raises(ValueError, match="version"):
+            RtpPacket.parse(bytes(data))
+
+    def test_parse_rejects_truncated_extension(self):
+        wire = RtpPacket(ssrc=1, seq=1, timestamp=1, twcc_seq=5).serialize()
+        with pytest.raises(ValueError, match="truncated"):
+            RtpPacket.parse(wire[: RTP_HEADER_LEN + 2])
+
+
+class TestSeqArithmetic:
+    def test_seq_less_than_simple(self):
+        assert seq_less_than(1, 2)
+        assert not seq_less_than(2, 1)
+        assert not seq_less_than(5, 5)
+
+    def test_seq_less_than_wraps(self):
+        assert seq_less_than(65_535, 0)
+        assert not seq_less_than(0, 65_535)
+
+    def test_seq_distance(self):
+        assert seq_distance(10, 15) == 5
+        assert seq_distance(65_534, 2) == 4
+
+
+@given(
+    ssrc=st.integers(0, 2**32 - 1),
+    seq=st.integers(0, 2**16 - 1),
+    ts=st.integers(0, 2**32 - 1),
+    pt=st.integers(0, 127),
+    marker=st.booleans(),
+    payload=st.binary(max_size=64),
+    twcc=st.one_of(st.none(), st.integers(0, 2**16 - 1)),
+)
+@settings(max_examples=200, deadline=None)
+def test_round_trip_property(ssrc, seq, ts, pt, marker, payload, twcc):
+    p = RtpPacket(
+        ssrc=ssrc,
+        seq=seq,
+        timestamp=ts,
+        payload_type=pt,
+        marker=marker,
+        payload=payload,
+        twcc_seq=twcc,
+    )
+    assert RtpPacket.parse(p.serialize()) == p

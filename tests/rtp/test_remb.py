@@ -1,0 +1,119 @@
+"""Tests for the REMB wire format and the receiver-side estimator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc.receiver_estimate import ReceiverEstimator, ReceiverEstimatorConfig
+from repro.rtp.remb import RembPacket, is_remb
+from repro.rtp.rtcp import ReceiverReport
+
+
+class TestRembWire:
+    def test_round_trip(self):
+        p = RembPacket(sender_ssrc=7, bitrate_bps=2_500_000, media_ssrcs=(1, 2))
+        parsed = RembPacket.parse(p.serialize())
+        assert parsed.sender_ssrc == 7
+        assert parsed.media_ssrcs == (1, 2)
+        assert parsed.bitrate_bps >= 2_500_000  # round-up encoding
+
+    def test_kbps_helper(self):
+        assert RembPacket(1, 2_000_000).bitrate_kbps == 2000
+
+    def test_is_remb(self):
+        assert is_remb(RembPacket(1, 100_000).serialize())
+        assert not is_remb(ReceiverReport(sender_ssrc=1).serialize())
+        assert not is_remb(b"nope")
+
+    def test_parse_rejects_non_remb(self):
+        with pytest.raises(ValueError):
+            RembPacket.parse(ReceiverReport(sender_ssrc=1).serialize())
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=100, deadline=None)
+    def test_never_understates(self, bitrate):
+        p = RembPacket(1, bitrate)
+        assert RembPacket.parse(p.serialize()).bitrate_bps >= bitrate
+
+
+class TestReceiverEstimator:
+    def pump(self, est, rate_kbps, start, duration, now_step=0.02):
+        t = start
+        size = int(rate_kbps * 1000 / 8 * now_step)
+        while t < start + duration:
+            est.on_packet(size, t)
+            t += now_step
+        return t
+
+    def test_ramps_toward_incoming_multiple(self):
+        est = ReceiverEstimator(ReceiverEstimatorConfig(initial_rate_kbps=300))
+        t = self.pump(est, 1000, 0.0, 2.0)
+        for k in range(45):
+            est.update(0.0, t)
+            t = self.pump(est, 1000, t, 0.5)
+        # Converges to (and is bounded by) incoming_multiple x incoming.
+        assert est.estimate_kbps() <= 1.6 * 1000 * 1.01
+        assert est.estimate_kbps() > 1000
+
+    def test_cannot_see_beyond_incoming(self):
+        """The receiver-side weakness the paper cites: with only a small
+        stream arriving, the estimate cannot discover spare capacity."""
+        est = ReceiverEstimator(ReceiverEstimatorConfig(initial_rate_kbps=300))
+        t = self.pump(est, 300, 0.0, 2.0)
+        for _ in range(30):
+            est.update(0.0, t)
+            t = self.pump(est, 300, t, 0.5)
+        assert est.estimate_kbps() <= 1.6 * 300 * 1.05
+
+    def test_loss_backs_off(self):
+        est = ReceiverEstimator(ReceiverEstimatorConfig(initial_rate_kbps=1000))
+        t = self.pump(est, 1000, 0.0, 1.0)
+        before = est.estimate_kbps()
+        est.update(0.3, t)
+        assert est.estimate_kbps() < before
+
+    def test_bounds(self):
+        cfg = ReceiverEstimatorConfig(min_rate_kbps=100, max_rate_kbps=2000)
+        est = ReceiverEstimator(cfg)
+        for _ in range(50):
+            est.update(0.9, 1.0)
+        assert est.estimate_kbps() >= 100
+
+    def test_rejects_bad_loss(self):
+        with pytest.raises(ValueError):
+            ReceiverEstimator().update(1.5, 0.0)
+
+
+class TestRembPipeline:
+    def test_client_reports_remb_and_node_collects(self):
+        from repro.conference import ClientSpec, MeetingSpec
+        from repro.conference.runner import MeetingRunner
+
+        spec = MeetingSpec(
+            clients=[
+                ClientSpec("pub", 4000, 4000),
+                ClientSpec("sub", 4000, 1500, publishes=False),
+            ],
+            mode="competitor1",
+            duration_s=12.0,
+            warmup_s=6.0,
+        )
+        runner = MeetingRunner(spec)
+        runner.sim.run_until(12.0)
+        remb = runner.node.remb_estimate_kbps("sub")
+        assert remb is not None
+        assert 100 <= remb <= 2400  # bounded by 1.6x what actually arrived
+
+    def test_gso_clients_do_not_send_remb(self):
+        from repro.conference import ClientSpec, MeetingSpec
+        from repro.conference.runner import MeetingRunner
+
+        spec = MeetingSpec(
+            clients=[ClientSpec("A", 3000, 3000), ClientSpec("B", 3000, 3000)],
+            mode="gso",
+            duration_s=8.0,
+            warmup_s=4.0,
+        )
+        runner = MeetingRunner(spec)
+        runner.sim.run_until(8.0)
+        assert runner.node.remb_estimate_kbps("A") is None

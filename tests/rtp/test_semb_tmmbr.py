@@ -1,0 +1,201 @@
+"""Unit tests for SEMB reports and GSO TMMBR/TMMBN feedback."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtp.semb import (
+    SembReport,
+    decode_exp_mantissa,
+    encode_exp_mantissa,
+)
+from repro.rtp.tmmbr import (
+    GsoTmmbn,
+    GsoTmmbr,
+    ReliableTmmbrSender,
+    TmmbrEntry,
+)
+
+
+class TestExpMantissa:
+    def test_small_values_exact(self):
+        exp, mantissa = encode_exp_mantissa(100_000)
+        assert exp == 0
+        assert mantissa == 100_000
+        assert decode_exp_mantissa(exp, mantissa) == 100_000
+
+    def test_large_values_round_up(self):
+        value = 5_000_000_000  # 5 Gbps, needs exponent
+        exp, mantissa = encode_exp_mantissa(value)
+        decoded = decode_exp_mantissa(exp, mantissa)
+        assert decoded >= value
+        assert decoded <= value * 1.001  # tight rounding
+
+    def test_17_bit_mantissa_variant(self):
+        exp18, m18 = encode_exp_mantissa(1_000_000, mantissa_bits=18)
+        exp17, m17 = encode_exp_mantissa(1_000_000, mantissa_bits=17)
+        assert m18 < 2**18 and m17 < 2**17
+        assert decode_exp_mantissa(exp17, m17) >= 1_000_000
+
+    def test_zero(self):
+        assert encode_exp_mantissa(0) == (0, 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            encode_exp_mantissa(-1)
+
+    @given(st.integers(0, 10**12))
+    @settings(max_examples=200, deadline=None)
+    def test_never_understates(self, value):
+        exp, mantissa = encode_exp_mantissa(value)
+        assert decode_exp_mantissa(exp, mantissa) >= value
+
+
+class TestSembReport:
+    def test_round_trip(self):
+        report = SembReport(
+            sender_ssrc=42, bitrate_bps=2_345_678, media_ssrcs=(1, 2, 3)
+        )
+        parsed = SembReport.from_app_packet(report.to_app_packet())
+        assert parsed.sender_ssrc == 42
+        assert parsed.media_ssrcs == (1, 2, 3)
+        assert parsed.bitrate_bps >= 2_345_678  # round-up encoding
+
+    def test_kbps_helper(self):
+        assert SembReport(1, 2_000_000).bitrate_kbps == 2000
+
+    def test_rejects_wrong_app_name(self):
+        from repro.rtp.rtcp import AppPacket
+
+        other = AppPacket(subtype=0, ssrc=1, name=b"XXXX", data=b"\x00" * 4)
+        with pytest.raises(ValueError, match="not a SEMB"):
+            SembReport.from_app_packet(other)
+
+    def test_full_wire_round_trip(self):
+        from repro.rtp.rtcp import AppPacket
+
+        report = SembReport(sender_ssrc=9, bitrate_bps=800_000)
+        wire = report.to_app_packet().serialize()
+        parsed = SembReport.from_app_packet(AppPacket.parse(wire))
+        assert parsed.bitrate_bps >= 800_000
+        assert parsed.sender_ssrc == 9
+
+
+class TestTmmbrEntry:
+    def test_round_trip(self):
+        e = TmmbrEntry(ssrc=1234, bitrate_bps=1_500_000, overhead_bytes=28)
+        parsed = TmmbrEntry.parse(e.serialize())
+        assert parsed.ssrc == 1234
+        assert parsed.overhead_bytes == 28
+        assert parsed.bitrate_bps >= 1_500_000
+
+    def test_zero_disables_stream(self):
+        e = TmmbrEntry(ssrc=5, bitrate_bps=0)
+        assert e.disables_stream
+        assert TmmbrEntry.parse(e.serialize()).disables_stream
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TmmbrEntry(ssrc=2**32, bitrate_bps=1)
+        with pytest.raises(ValueError):
+            TmmbrEntry(ssrc=1, bitrate_bps=-1)
+        with pytest.raises(ValueError):
+            TmmbrEntry(ssrc=1, bitrate_bps=1, overhead_bytes=512)
+
+
+class TestGsoTmmbrPackets:
+    def entries(self):
+        return (
+            TmmbrEntry(ssrc=1, bitrate_bps=1_400_000),
+            TmmbrEntry(ssrc=2, bitrate_bps=0),
+        )
+
+    def test_request_round_trip(self):
+        req = GsoTmmbr(sender_ssrc=7, request_id=3, entries=self.entries())
+        parsed = GsoTmmbr.from_app_packet(req.to_app_packet())
+        assert parsed.request_id == 3
+        assert len(parsed.entries) == 2
+        assert parsed.entries[1].disables_stream
+
+    def test_notification_round_trip(self):
+        note = GsoTmmbn(sender_ssrc=8, request_id=3, entries=self.entries())
+        parsed = GsoTmmbn.from_app_packet(note.to_app_packet())
+        assert parsed.request_id == 3
+
+    def test_acknowledge_builds_matching_tmmbn(self):
+        req = GsoTmmbr(sender_ssrc=7, request_id=9, entries=self.entries())
+        note = GsoTmmbn.acknowledge(req, sender_ssrc=55)
+        assert note.request_id == 9
+        assert note.entries == req.entries
+
+    def test_name_disambiguation(self):
+        req = GsoTmmbr(sender_ssrc=7, request_id=1, entries=self.entries())
+        with pytest.raises(ValueError, match="not a GSO TMMBN"):
+            GsoTmmbn.from_app_packet(req.to_app_packet())
+
+
+class TestReliability:
+    def make(self, **kwargs):
+        self.sent = []
+        self.timers = []
+        sender = ReliableTmmbrSender(
+            transmit=lambda target, req: self.sent.append((target, req)),
+            schedule=lambda delay, cb: self.timers.append((delay, cb)),
+            **kwargs,
+        )
+        return sender
+
+    def fire_timers(self):
+        timers, self.timers = self.timers, []
+        for _, cb in timers:
+            cb()
+
+    def test_send_transmits_immediately(self):
+        sender = self.make()
+        sender.send("client", 1, [TmmbrEntry(ssrc=1, bitrate_bps=100)])
+        assert len(self.sent) == 1
+        assert sender.pending_count == 1
+
+    def test_tmmbn_stops_retransmission(self):
+        sender = self.make()
+        req = sender.send("client", 1, [TmmbrEntry(ssrc=1, bitrate_bps=100)])
+        note = GsoTmmbn.acknowledge(req, sender_ssrc=2)
+        assert sender.on_tmmbn("client", note) is True
+        self.fire_timers()
+        assert len(self.sent) == 1  # no retransmit
+
+    def test_lost_tmmbn_triggers_retransmit(self):
+        sender = self.make()
+        sender.send("client", 1, [TmmbrEntry(ssrc=1, bitrate_bps=100)])
+        self.fire_timers()
+        assert len(self.sent) == 2  # original + retry
+
+    def test_stale_tmmbn_ignored(self):
+        sender = self.make()
+        old = sender.send("client", 1, [TmmbrEntry(ssrc=1, bitrate_bps=100)])
+        new = sender.send("client", 1, [TmmbrEntry(ssrc=1, bitrate_bps=200)])
+        stale = GsoTmmbn.acknowledge(old, sender_ssrc=2)
+        assert sender.on_tmmbn("client", stale) is False
+        fresh = GsoTmmbn.acknowledge(new, sender_ssrc=2)
+        assert sender.on_tmmbn("client", fresh) is True
+
+    def test_gives_up_after_max_attempts(self):
+        sender = self.make(max_attempts=3)
+        sender.send("client", 1, [TmmbrEntry(ssrc=1, bitrate_bps=100)])
+        for _ in range(5):
+            self.fire_timers()
+        assert len(self.sent) == 3
+        assert sender.failed_targets == ["client"]
+        assert sender.pending_count == 0
+
+    def test_request_ids_increase(self):
+        sender = self.make()
+        r1 = sender.send("a", 1, [TmmbrEntry(ssrc=1, bitrate_bps=1)])
+        r2 = sender.send("b", 1, [TmmbrEntry(ssrc=1, bitrate_bps=1)])
+        assert r2.request_id > r1.request_id
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(retransmit_interval_s=0)
+        with pytest.raises(ValueError):
+            self.make(max_attempts=0)

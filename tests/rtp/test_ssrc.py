@@ -1,0 +1,56 @@
+"""Unit tests for the SSRC allocator."""
+
+from repro.core.types import Resolution
+from repro.rtp.ssrc import SsrcAllocator, SsrcKey
+
+
+class TestSsrcAllocator:
+    def test_per_resolution_ssrcs_are_distinct(self):
+        alloc = SsrcAllocator()
+        ssrcs = {
+            alloc.allocate("A", res)
+            for res in (Resolution.P720, Resolution.P360, Resolution.P180)
+        }
+        assert len(ssrcs) == 3
+
+    def test_allocation_is_idempotent(self):
+        alloc = SsrcAllocator()
+        a = alloc.allocate("A", Resolution.P720)
+        b = alloc.allocate("A", Resolution.P720)
+        assert a == b
+
+    def test_reverse_lookup(self):
+        alloc = SsrcAllocator()
+        ssrc = alloc.allocate("A", "audio")
+        assert alloc.lookup(ssrc) == SsrcKey("A", "audio")
+        assert alloc.lookup(0xDEAD) is None
+
+    def test_forward_lookup_without_allocating(self):
+        alloc = SsrcAllocator()
+        assert alloc.ssrc_of("A", Resolution.P720) is None
+        ssrc = alloc.allocate("A", Resolution.P720)
+        assert alloc.ssrc_of("A", Resolution.P720) == ssrc
+
+    def test_streams_of_client(self):
+        alloc = SsrcAllocator()
+        alloc.allocate("A", Resolution.P720)
+        alloc.allocate("A", "audio")
+        alloc.allocate("B", Resolution.P720)
+        streams = alloc.streams_of("A")
+        assert set(streams) == {Resolution.P720, "audio"}
+
+    def test_release_client(self):
+        alloc = SsrcAllocator()
+        ssrc = alloc.allocate("A", Resolution.P720)
+        alloc.release_client("A")
+        assert alloc.lookup(ssrc) is None
+        assert alloc.streams_of("A") == {}
+        # Re-allocation gets a fresh SSRC (no reuse confusion).
+        assert alloc.allocate("A", Resolution.P720) != ssrc
+
+    def test_determinism(self):
+        a1 = SsrcAllocator()
+        a2 = SsrcAllocator()
+        assert a1.allocate("X", Resolution.P360) == a2.allocate(
+            "X", Resolution.P360
+        )
