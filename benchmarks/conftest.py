@@ -1,0 +1,37 @@
+"""Benchmark-session observability: every benchmark records its timings
+through the shared metrics registry (``_harness.BENCH_REGISTRY``).
+
+The session fixture installs the registry process-wide so all solver /
+controller / fleet instrumentation inside the benchmarks lands in one
+place; the autouse per-test fixture wall-clocks each benchmark into the
+``repro_benchmark_seconds{benchmark=...}`` histogram.  At session end the
+aggregate snapshot is written to ``benchmarks/out/metrics_snapshot.prom``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs.registry import get_registry, set_registry
+
+import _harness
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _obs_registry_session():
+    previous = get_registry()
+    set_registry(_harness.BENCH_REGISTRY)
+    yield
+    set_registry(previous)
+    _harness.write_metrics_snapshot()
+
+
+@pytest.fixture(autouse=True)
+def _obs_benchmark_timer(request):
+    start = time.perf_counter()
+    yield
+    _harness.record_benchmark_timing(
+        request.node.name, time.perf_counter() - start
+    )

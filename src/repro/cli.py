@@ -1,25 +1,33 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the library's main entry points:
+Four subcommands cover the library's main entry points:
 
 * ``solve`` — orchestrate a meeting described as ``id:up:down`` client
   specs and print the stream plan (the core algorithm, no simulation);
 * ``meeting`` — run a packet-level meeting simulation and print the QoE
   report (optionally comparing two schemes);
 * ``rollout`` — run the fleet/deployment simulation for a date range and
-  print daily metrics.
+  print daily metrics;
+* ``obs`` — the observability surface (see ``docs/OBSERVABILITY.md``):
+  run a solve or an example with instrumentation enabled and dump the
+  metrics snapshot + per-iteration KMR trace (``obs solve``,
+  ``obs example``), or list the canonical metric names (``obs names``).
 """
 
 from __future__ import annotations
 
 import argparse
 import datetime as dt
+import runpy
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
+from . import obs
 from .conference import ClientSpec, MeetingSpec, run_meeting
 from .core import Bandwidth, GsoSolver, Resolution, SolverConfig, make_ladder
 from .core.constraints import Problem, Subscription
+from .obs import names as obs_names
 
 
 def _parse_client(text: str) -> ClientSpec:
@@ -121,6 +129,114 @@ def _cmd_rollout(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# Observability commands
+# --------------------------------------------------------------------- #
+
+
+def _dump_obs(
+    registry: "obs.MetricsRegistry",
+    collector: "obs.TraceCollector",
+    args: argparse.Namespace,
+) -> None:
+    """Emit the collected trace + metrics per the obs output options."""
+    if collector.traces:
+        if args.trace_out:
+            path = collector.write_jsonl(args.trace_out)
+            print(
+                f"\n[obs] wrote {len(collector.traces)} KMR trace(s) "
+                f"to {path}"
+            )
+        print(
+            f"\n=== kmr trace (last of {len(collector.traces)} solve(s)) ==="
+        )
+        print(collector.last.to_jsonl(), end="")
+    else:
+        print("\n=== kmr trace ===\n(no solver runs were traced)")
+    text = (
+        registry.to_json()
+        if args.format == "json"
+        else registry.to_prometheus_text()
+    )
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(text)
+        print(f"[obs] wrote metrics snapshot to {args.metrics_out}")
+    print(f"\n=== metrics snapshot ({args.format}) ===")
+    print(text, end="" if text.endswith("\n") else "\n")
+
+
+def _cmd_obs_solve(args: argparse.Namespace) -> int:
+    with obs.enabled_registry() as registry, obs.collect_traces() as collector:
+        code = _cmd_solve(args)
+        if code != 0:
+            return code
+        root = obs.last_root_span()
+        if root is not None:
+            print("\n=== span timings ===")
+            print(obs.format_span_tree(root))
+        _dump_obs(registry, collector, args)
+    return 0
+
+
+def _resolve_example(name: str) -> Optional[Path]:
+    """Find an example script by bare name, ``<name>.py``, or path."""
+    direct = Path(name)
+    if direct.is_file():
+        return direct
+    repo_root = Path(__file__).resolve().parents[2]
+    stem = name[:-3] if name.endswith(".py") else name
+    for base in (Path.cwd() / "examples", repo_root / "examples"):
+        candidate = base / f"{stem}.py"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def _cmd_obs_example(args: argparse.Namespace) -> int:
+    path = _resolve_example(args.example)
+    if path is None:
+        print(
+            f"example {args.example!r} not found (looked in ./examples "
+            "and the repo's examples/)",
+            file=sys.stderr,
+        )
+        return 2
+    with obs.enabled_registry() as registry, obs.collect_traces() as collector:
+        # run_name="__main__" fires the example's entry-point guard, so it
+        # runs exactly as ``python examples/<name>.py`` would — but with
+        # the registry and trace collector installed around it.
+        runpy.run_path(str(path), run_name="__main__")
+        _dump_obs(registry, collector, args)
+    return 0
+
+
+def _cmd_obs_names(args: argparse.Namespace) -> int:
+    print("metric                                              kind       labels")
+    print("-" * 78)
+    for name, (kind, labels) in sorted(obs_names.ALL_METRICS.items()):
+        label_text = ",".join(labels) if labels else "-"
+        print(f"{name:<50s}  {kind:<9s}  {label_text}")
+    print("\nbuilt-in spans (label values of repro_span_seconds):")
+    for span_name in obs_names.ALL_SPANS:
+        print(f"  {span_name}")
+    return 0
+
+
+def _add_obs_output_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=["prom", "json"],
+        default="prom",
+        help="metrics snapshot format (default: Prometheus text)",
+    )
+    parser.add_argument(
+        "--metrics-out", help="also write the metrics snapshot to this file"
+    )
+    parser.add_argument(
+        "--trace-out", help="write all KMR traces (JSONL) to this file"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -170,6 +286,44 @@ def build_parser() -> argparse.ArgumentParser:
     rollout.add_argument("--stride", type=int, default=7)
     rollout.add_argument("--conferences", type=int, default=100)
     rollout.set_defaults(func=_cmd_rollout)
+
+    obs_parser = sub.add_parser(
+        "obs",
+        help="observability: traced solves, instrumented examples, "
+        "metric name listing",
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    obs_solve = obs_sub.add_parser(
+        "solve",
+        help="solve a mesh meeting with metrics + KMR tracing enabled",
+    )
+    obs_solve.add_argument(
+        "clients",
+        nargs="+",
+        type=_parse_client,
+        help="client specs: id:up_kbps:down_kbps",
+    )
+    obs_solve.add_argument("--levels", type=int, default=5)
+    obs_solve.add_argument("--granularity", type=int, default=10)
+    _add_obs_output_args(obs_solve)
+    obs_solve.set_defaults(func=_cmd_obs_solve)
+
+    obs_example = obs_sub.add_parser(
+        "example",
+        help="run an examples/ script with instrumentation enabled",
+    )
+    obs_example.add_argument(
+        "example",
+        help="example name (e.g. global_meeting) or a script path",
+    )
+    _add_obs_output_args(obs_example)
+    obs_example.set_defaults(func=_cmd_obs_example)
+
+    obs_names_cmd = obs_sub.add_parser(
+        "names", help="list every canonical metric and span name"
+    )
+    obs_names_cmd.set_defaults(func=_cmd_obs_names)
     return parser
 
 

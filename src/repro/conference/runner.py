@@ -35,6 +35,8 @@ from ..media.jitter_buffer import compute_playback_metrics
 from ..media.sfu import AccessingNode
 from ..net.link import Link
 from ..net.simulator import PeriodicTask, Simulator
+from ..obs import names as obs_names
+from ..obs.registry import get_registry
 from ..rtp.rtcp import AppPacket
 from ..rtp.semb import SEMB_NAME, SembReport
 from ..rtp.ssrc import SsrcAllocator
@@ -283,11 +285,18 @@ class MeetingRunner:
 
     def _on_rtcp_app(self, client: ClientId, data: bytes) -> None:
         app = AppPacket.parse(data)
+        reg = get_registry()
         if app.name == SEMB_NAME:
+            if reg.enabled:
+                reg.counter(obs_names.RUNNER_RTCP_APP, kind="semb").inc()
             report = SembReport.from_app_packet(app)
             self.conference.on_semb_report(client, report, self.sim.now)
         elif app.name == GSO_TMMBN_NAME and self.executor is not None:
+            if reg.enabled:
+                reg.counter(obs_names.RUNNER_RTCP_APP, kind="tmmbn").inc()
             self.executor.on_tmmbn(client, GsoTmmbn.from_app_packet(app))
+        elif reg.enabled:
+            reg.counter(obs_names.RUNNER_RTCP_APP, kind="other").inc()
 
     # ------------------------------------------------------------------ #
     # Periodic sampling

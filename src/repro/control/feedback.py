@@ -20,6 +20,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from ..core.solution import Solution
 from ..core.types import ClientId, Resolution
+from ..obs import names as obs_names
+from ..obs.registry import get_registry
 from ..media.sfu import AccessingNode
 from ..net.simulator import Simulator
 from ..rtp.tmmbr import GsoTmmbn, ReliableTmmbrSender, TmmbrEntry
@@ -83,8 +85,22 @@ class FeedbackExecutor:
         while self._consumed_failures < len(failures):
             self._last_config.pop(failures[self._consumed_failures], None)
             self._consumed_failures += 1
+        tmmbr_before = self.stats.tmmbr_sent
+        updates_before = self.stats.forwarding_updates
         self._execute_publisher_configs(solution)
         self._execute_forwarding(solution)
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(obs_names.FEEDBACK_EXECUTIONS).inc()
+            reg.counter(obs_names.FEEDBACK_TMMBR_SENT).inc(
+                self.stats.tmmbr_sent - tmmbr_before
+            )
+            reg.counter(obs_names.FEEDBACK_FORWARDING_UPDATES).inc(
+                self.stats.forwarding_updates - updates_before
+            )
+            reg.histogram(obs_names.FEEDBACK_FANOUT).observe(
+                self.stats.tmmbr_sent - tmmbr_before
+            )
 
     def _desired_configs(self, solution: Solution) -> Dict[ClientId, WireConfig]:
         """Per publisher entity, the resolution->kbps config to install.

@@ -20,9 +20,13 @@ fallback instead of taking the meeting down.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from ..obs import names as obs_names
+from ..obs.registry import get_registry
+from ..obs.spans import span
 from ..core.solution import Solution
 from ..core.solver import GsoSolver, SolverConfig
 from ..net.simulator import PeriodicTask, Simulator
@@ -124,27 +128,42 @@ class GsoControllerRuntime:
         return self._solve(self._sim.now)
 
     def _solve(self, now: float) -> Optional[Solution]:
+        reg = get_registry()
         if self._last_solve_time is not None:
-            self.call_intervals.append(now - self._last_solve_time)
+            interval = now - self._last_solve_time
+            self.call_intervals.append(interval)
+            if reg.enabled:
+                reg.histogram(
+                    obs_names.CONTROLLER_CALL_INTERVAL_SECONDS
+                ).observe(interval)
         self._last_solve_time = now
         self._last_seen_version = self._conference.version
-        problem = self._conference.snapshot(now_s=now)
-        problem = self._apply_dead_stream_caps(problem, now)
-        incumbent = self._incumbent_assignments()
-        try:
-            solution = self._solver.solve(problem, incumbent=incumbent)
-            solution = self._apply_upgrade_cooldown(
-                problem, solution, now, incumbent
+        tick_start = time.perf_counter()
+        with span(obs_names.SPAN_CONTROLLER_TICK):
+            problem = self._conference.snapshot(now_s=now)
+            problem = self._apply_dead_stream_caps(problem, now)
+            incumbent = self._incumbent_assignments()
+            try:
+                solution = self._solver.solve(problem, incumbent=incumbent)
+                solution = self._apply_upgrade_cooldown(
+                    problem, solution, now, incumbent
+                )
+            except Exception:
+                # Design for failure (Sec. 7): never take the meeting down —
+                # drop every publisher to a single safe stream and continue.
+                self.fallbacks_engaged += 1
+                if reg.enabled:
+                    reg.counter(obs_names.CONTROLLER_FALLBACKS).inc()
+                solution = single_stream_fallback(problem)
+            self._record_resolution_sets(solution, now)
+            self.solutions.append(solution)
+            self.last_solution = solution
+            self._executor.execute(solution)
+        if reg.enabled:
+            reg.counter(obs_names.CONTROLLER_SOLVES).inc()
+            reg.histogram(obs_names.CONTROLLER_TICK_SECONDS).observe(
+                time.perf_counter() - tick_start
             )
-        except Exception:
-            # Design for failure (Sec. 7): never take the meeting down —
-            # drop every publisher to a single safe stream and continue.
-            self.fallbacks_engaged += 1
-            solution = single_stream_fallback(problem)
-        self._record_resolution_sets(solution, now)
-        self.solutions.append(solution)
-        self.last_solution = solution
-        self._executor.execute(solution)
         return solution
 
     # ------------------------------------------------------------------ #
@@ -159,6 +178,9 @@ class GsoControllerRuntime:
                 key = (pub, res)
                 if key not in self._dead_caps or self._dead_caps[key] <= now:
                     self.downgrades_applied += 1
+                    get_registry().counter(
+                        obs_names.CONTROLLER_DOWNGRADES
+                    ).inc()
                 self._dead_caps[key] = now + self.config.dead_stream_penalty_s
         active = {
             key for key, expiry in self._dead_caps.items() if expiry > now
@@ -218,6 +240,9 @@ class GsoControllerRuntime:
         if not caps:
             return solution
         self.upgrades_suppressed += len(caps)
+        get_registry().counter(obs_names.CONTROLLER_UPGRADES_SUPPRESSED).inc(
+            len(caps)
+        )
         restricted = {
             pub: [
                 s

@@ -33,6 +33,9 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import names as obs_names
+from ..obs.registry import get_registry
+
 #: One knapsack item: (weight_kbps, value).  Item identity within its class
 #: is positional: solutions report the chosen index per class.
 Item = Tuple[int, float]
@@ -124,6 +127,10 @@ def solve_mckp_dp(
         raise ValueError(f"granularity must be >= 1, got {granularity}")
     slots = capacity // granularity
     n = len(classes)
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter(obs_names.MCKP_SOLVES).inc()
+        reg.histogram(obs_names.MCKP_TABLE_CELLS).observe(n * (slots + 1))
     if n == 0 or slots == 0:
         return _empty_solution(n)
 
@@ -151,6 +158,16 @@ def solve_mckp_dp(
             continue
         picks[ci] = idx
         col -= _grid_weight(classes[ci][idx][0], granularity)
+    if reg.enabled and granularity > 1:
+        # Granularity-induced conservatism: capacity consumed by rounding
+        # item weights up to the grid, i.e. budget the DP could not use.
+        slack = sum(
+            _grid_weight(classes[ci][idx][0], granularity) * granularity
+            - classes[ci][idx][0]
+            for ci, idx in enumerate(picks)
+            if idx is not None
+        )
+        reg.histogram(obs_names.MCKP_GRID_SLACK_KBPS).observe(slack)
     return _finish(classes, picks, capacity)
 
 

@@ -10,6 +10,21 @@ raising one could.
 
 The output is the potential policy set ``P_i`` per publisher (Eq. 13): at
 most one ``(audience, bitrate)`` entry per resolution.
+
+Worked micro-example (the Fig. 5 narration): if Step 1 had B request
+``A@720p/1500`` and C request ``A@720p/1200``, the codec constraint forbids
+A encoding 720p twice, so ``Meg()`` collapses the group to the minimum —
+one 720p encoding at 1200 kbps serving the audience ``{B, C}``.  B loses
+300 kbps of quality it could afford, but C's downlink stays respected;
+min-merge is the only direction that preserves Step 1's downlink
+feasibility unconditionally (Eq. 12's argument).
+
+Merging never consults the uplink: a merged ``P_i`` may well exceed the
+publisher's budget.  That check — and the fix/delete escalation when it
+fails — is Step 3's job (:mod:`repro.core.reduction`, Eqs. 14-20).  The
+merged ladder chosen each iteration is visible per publisher in the KMR
+solver trace (``merged_ladders`` in ``docs/OBSERVABILITY.md``'s schema),
+and the step's wall clock is recorded under the ``kmr.merge`` span.
 """
 
 from __future__ import annotations

@@ -18,6 +18,23 @@ owner has.  Three outcomes per owner:
   deleted from the contributing entity's feasible set and the whole
   algorithm restarts from Step 1.  Only one publisher is reduced per
   iteration, as the paper prescribes.
+
+The fixability test (Eq. 17) is concretely: for each policy resolution,
+substitute the *cheapest* same-resolution rung from the feasible set; if
+even that floor assignment exceeds the uplink budget, no bitrate shuffle
+can help and a deletion is forced.  Between the floor and the merged
+bitrates, the optimal substitution (Eq. 16) maximizes retained QoE — the
+mandatory-pick MCKP below.
+
+Termination: every reduction permanently removes one (publisher entity,
+resolution) pair from a finite feasible set, so the KMR loop runs at most
+``sum_i |resolutions_i|`` iterations (the bound ``_iteration_bound`` in
+:mod:`repro.core.solver` enforces) — this is the paper's Sec. 4.1
+convergence argument.  Deletions are observable three ways: the
+``repro_kmr_reductions_total`` counter, the per-iteration ``deletion``
+field of the solver trace, and ``Solution.reduced`` — see
+``docs/OBSERVABILITY.md``.  The step's wall clock lands under the
+``kmr.reduction`` span.
 """
 
 from __future__ import annotations

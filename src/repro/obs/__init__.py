@@ -1,0 +1,83 @@
+"""Observability for the GSO reproduction: metrics, spans, solver traces.
+
+The package has three cooperating parts, all zero-dependency and all
+off-by-default-cheap (a disabled run records nothing and pays only no-op
+calls on instrumented paths):
+
+* :mod:`repro.obs.registry` — counters, gauges and bounded-reservoir
+  histograms with labels; snapshot, merge, Prometheus-text and JSON
+  export.  Enable with :func:`enable` / :func:`enabled_registry`.
+* :mod:`repro.obs.spans` — ``with span("kmr.knapsack"):`` wall-clock
+  scopes with thread-local nesting, recorded into the registry.
+* :mod:`repro.obs.trace` — structured per-iteration KMR solver traces
+  (JSONL or in-memory), installed with :func:`collect_traces`.
+
+Canonical metric/span names live in :mod:`repro.obs.names` and are
+documented for operators in ``docs/OBSERVABILITY.md``.  The CLI surface
+is ``python -m repro obs ...``.
+
+Quick start::
+
+    from repro import obs
+
+    with obs.enabled_registry() as reg, obs.collect_traces() as traces:
+        solution = solver.solve(problem)
+    print(reg.to_prometheus_text())
+    print(traces.last.to_jsonl())
+"""
+
+from . import names
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    disable,
+    enable,
+    enabled_registry,
+    get_registry,
+    set_registry,
+)
+from .spans import (
+    SpanRecord,
+    current_span,
+    format_span_tree,
+    last_root_span,
+    reset_spans,
+    span,
+)
+from .trace import (
+    IterationRecord,
+    SolveTrace,
+    TraceCollector,
+    active_collector,
+    collect_traces,
+    set_collector,
+)
+
+__all__ = [
+    "names",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "disable",
+    "enable",
+    "enabled_registry",
+    "get_registry",
+    "set_registry",
+    "SpanRecord",
+    "current_span",
+    "format_span_tree",
+    "last_root_span",
+    "reset_spans",
+    "span",
+    "IterationRecord",
+    "SolveTrace",
+    "TraceCollector",
+    "active_collector",
+    "collect_traces",
+    "set_collector",
+]

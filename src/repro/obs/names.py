@@ -1,0 +1,172 @@
+"""Canonical metric and span names emitted by the repro instrumentation.
+
+Every instrumented call site imports its metric name from here, and
+``docs/OBSERVABILITY.md`` documents exactly these names — a unit test
+(``tests/obs/test_docs_match.py``) fails if the two drift apart.  Add a
+new metric by (1) defining the constant here, (2) recording through it,
+and (3) documenting it in the operator guide.
+
+Naming follows the Prometheus conventions: ``repro_`` namespace prefix,
+``_total`` suffix for counters, base units in the name (``_seconds``,
+``_kbps``), label dimensions kept low-cardinality (scheme, span, reason —
+never per-client ids).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# --------------------------------------------------------------------- #
+# KMR solver (repro.core.solver)
+# --------------------------------------------------------------------- #
+
+#: Counter — KMR solves started.
+KMR_SOLVES = "repro_kmr_solves_total"
+#: Counter — total KMR iterations across all solves.
+KMR_ITERATIONS_TOTAL = "repro_kmr_iterations_total"
+#: Histogram — iterations needed per solve (convergence speed, Fig. 6).
+KMR_ITERATIONS = "repro_kmr_iterations"
+#: Histogram — wall-clock seconds per solve (Fig. 9's CPU cost).
+KMR_SOLVE_SECONDS = "repro_kmr_solve_seconds"
+#: Counter — Step-3 deletion events (one feasible resolution removed).
+KMR_REDUCTIONS = "repro_kmr_reductions_total"
+#: Counter, label ``reason`` in {"solved", "iteration_cap"} — how solves end.
+KMR_CONVERGENCE = "repro_kmr_convergence_total"
+
+# --------------------------------------------------------------------- #
+# MCKP dynamic program (repro.core.mckp)
+# --------------------------------------------------------------------- #
+
+#: Counter — DP solves (one per subscriber per iteration, plus Step-3 fixes).
+MCKP_SOLVES = "repro_mckp_dp_solves_total"
+#: Histogram — DP table size in cells (classes x capacity slots).
+MCKP_TABLE_CELLS = "repro_mckp_dp_table_cells"
+#: Histogram — per-solve capacity lost to grid rounding, in kbps
+#: (the granularity-induced conservatism of rounding weights up).
+MCKP_GRID_SLACK_KBPS = "repro_mckp_grid_slack_kbps"
+
+# --------------------------------------------------------------------- #
+# Spans (repro.obs.spans)
+# --------------------------------------------------------------------- #
+
+#: Histogram, label ``span`` — wall-clock seconds per span entry/exit.
+SPAN_SECONDS = "repro_span_seconds"
+
+#: Span names used by the built-in instrumentation (label values of
+#: :data:`SPAN_SECONDS`).
+SPAN_KMR_SOLVE = "kmr.solve"
+SPAN_KMR_KNAPSACK = "kmr.knapsack"
+SPAN_KMR_MERGE = "kmr.merge"
+SPAN_KMR_REDUCTION = "kmr.reduction"
+SPAN_CONTROLLER_TICK = "controller.tick"
+
+# --------------------------------------------------------------------- #
+# Controller runtime (repro.control.gso_controller)
+# --------------------------------------------------------------------- #
+
+#: Counter — control-loop solves triggered (time- or event-triggered).
+CONTROLLER_SOLVES = "repro_controller_solves_total"
+#: Histogram — end-to-end control-tick latency in seconds (snapshot +
+#: solve + cooldown + feedback execution).
+CONTROLLER_TICK_SECONDS = "repro_controller_tick_seconds"
+#: Histogram — seconds between consecutive control events (Fig. 12).
+CONTROLLER_CALL_INTERVAL_SECONDS = "repro_controller_call_interval_seconds"
+#: Counter — Sec. 7 single-stream fallbacks engaged.
+CONTROLLER_FALLBACKS = "repro_controller_fallbacks_total"
+#: Counter — resolution upgrades suppressed by the cooldown.
+CONTROLLER_UPGRADES_SUPPRESSED = "repro_controller_upgrades_suppressed_total"
+#: Counter — dead-stream failure downgrades applied.
+CONTROLLER_DOWNGRADES = "repro_controller_downgrades_total"
+
+# --------------------------------------------------------------------- #
+# Feedback executor (repro.control.feedback)
+# --------------------------------------------------------------------- #
+
+#: Counter — solutions pushed to the media/user planes.
+FEEDBACK_EXECUTIONS = "repro_feedback_executions_total"
+#: Counter — GSO TMMBR configuration messages sent to publishers.
+FEEDBACK_TMMBR_SENT = "repro_feedback_tmmbr_sent_total"
+#: Counter — per-(subscriber, publisher) forwarding-table rewrites.
+FEEDBACK_FORWARDING_UPDATES = "repro_feedback_forwarding_updates_total"
+#: Histogram — TMMBR fan-out per execution (publishers reconfigured).
+FEEDBACK_FANOUT = "repro_feedback_fanout"
+
+# --------------------------------------------------------------------- #
+# RTP control-message codecs (repro.rtp)
+# --------------------------------------------------------------------- #
+
+#: Counter, label ``direction`` in {"encoded", "parsed"} — SEMB reports.
+RTP_SEMB_MESSAGES = "repro_rtp_semb_messages_total"
+#: Counter, labels ``kind`` in {"tmmbr", "tmmbn"} and ``direction`` in
+#: {"encoded", "parsed"} — GSO TMMBR/TMMBN messages.
+RTP_TMMBR_MESSAGES = "repro_rtp_tmmbr_messages_total"
+
+# --------------------------------------------------------------------- #
+# Meeting runner (repro.conference.runner)
+# --------------------------------------------------------------------- #
+
+#: Counter, label ``kind`` in {"semb", "tmmbn", "other"} — upstream RTCP
+#: APP packets routed by the runner.
+RUNNER_RTCP_APP = "repro_runner_rtcp_app_total"
+
+# --------------------------------------------------------------------- #
+# Fleet simulation (repro.deploy.fleet)
+# --------------------------------------------------------------------- #
+
+#: Counter, label ``scheme`` in {"gso", "nongso"} — conferences scored.
+FLEET_CONFERENCES = "repro_fleet_conferences_total"
+#: Histogram, label ``scheme`` — per-conference mean stream-satisfaction
+#: ratio (views delivered / views subscribed, the Fig. 11 quantity).
+FLEET_SATISFACTION = "repro_fleet_satisfaction_ratio"
+#: Gauge, label ``scheme`` — satisfaction ratio of the most recently
+#: scored conference.
+FLEET_LAST_SATISFACTION = "repro_fleet_last_satisfaction_ratio"
+
+# --------------------------------------------------------------------- #
+# Benchmarks (benchmarks/_harness.py)
+# --------------------------------------------------------------------- #
+
+#: Histogram, label ``benchmark`` — wall-clock seconds per benchmark test.
+BENCHMARK_SECONDS = "repro_benchmark_seconds"
+
+
+#: Every canonical metric name, with (kind, labels) — consumed by the
+#: docs-consistency test and the ``repro obs names`` CLI.
+ALL_METRICS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+    KMR_SOLVES: ("counter", ()),
+    KMR_ITERATIONS_TOTAL: ("counter", ()),
+    KMR_ITERATIONS: ("histogram", ()),
+    KMR_SOLVE_SECONDS: ("histogram", ()),
+    KMR_REDUCTIONS: ("counter", ()),
+    KMR_CONVERGENCE: ("counter", ("reason",)),
+    MCKP_SOLVES: ("counter", ()),
+    MCKP_TABLE_CELLS: ("histogram", ()),
+    MCKP_GRID_SLACK_KBPS: ("histogram", ()),
+    SPAN_SECONDS: ("histogram", ("span",)),
+    CONTROLLER_SOLVES: ("counter", ()),
+    CONTROLLER_TICK_SECONDS: ("histogram", ()),
+    CONTROLLER_CALL_INTERVAL_SECONDS: ("histogram", ()),
+    CONTROLLER_FALLBACKS: ("counter", ()),
+    CONTROLLER_UPGRADES_SUPPRESSED: ("counter", ()),
+    CONTROLLER_DOWNGRADES: ("counter", ()),
+    FEEDBACK_EXECUTIONS: ("counter", ()),
+    FEEDBACK_TMMBR_SENT: ("counter", ()),
+    FEEDBACK_FORWARDING_UPDATES: ("counter", ()),
+    FEEDBACK_FANOUT: ("histogram", ()),
+    RTP_SEMB_MESSAGES: ("counter", ("direction",)),
+    RTP_TMMBR_MESSAGES: ("counter", ("kind", "direction")),
+    RUNNER_RTCP_APP: ("counter", ("kind",)),
+    FLEET_CONFERENCES: ("counter", ("scheme",)),
+    FLEET_SATISFACTION: ("histogram", ("scheme",)),
+    FLEET_LAST_SATISFACTION: ("gauge", ("scheme",)),
+    BENCHMARK_SECONDS: ("histogram", ("benchmark",)),
+}
+
+#: Every built-in span name — label values of :data:`SPAN_SECONDS`.
+ALL_SPANS: Tuple[str, ...] = (
+    SPAN_KMR_SOLVE,
+    SPAN_KMR_KNAPSACK,
+    SPAN_KMR_MERGE,
+    SPAN_KMR_REDUCTION,
+    SPAN_CONTROLLER_TICK,
+)

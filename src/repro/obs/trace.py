@@ -1,0 +1,213 @@
+"""Structured KMR solver traces: one record per Knapsack-Merge-Reduction
+iteration, emitted as in-memory objects or JSONL.
+
+While the metrics registry answers "how fast / how often", the trace
+answers "*what did the solver decide and why*": for every iteration it
+captures the per-subscriber knapsack value, the merged ladder installed
+per publisher, any Step-3 deletion, and finally the convergence reason.
+``docs/OBSERVABILITY.md`` walks one trace end-to-end.
+
+Collection is pull-based and off by default: the solver asks
+:func:`active_collector` once per solve and records nothing when no
+collector is installed (an ``is None`` check per iteration).  Install one
+with::
+
+    with collect_traces() as collector:
+        solver.solve(problem)
+    collector.traces[0].write_jsonl(path)
+
+The JSONL schema (``repro.kmr_trace/v1``) is one object per line:
+
+* a ``{"record": "solve", ...}`` header with problem shape and config;
+* one ``{"record": "iteration", ...}`` object per KMR iteration;
+* a ``{"record": "result", ...}`` trailer with the convergence reason,
+  iteration count and wall time.
+
+The schema is pinned by a golden-file test
+(``tests/obs/test_trace.py``); bump :data:`TRACE_SCHEMA` when changing it.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+#: Schema identifier stamped into every trace header.
+TRACE_SCHEMA = "repro.kmr_trace/v1"
+
+#: Convergence reasons recorded in the trace trailer.
+REASON_SOLVED = "solved"
+REASON_ITERATION_CAP = "iteration_cap"
+
+
+@dataclass
+class IterationRecord:
+    """One KMR iteration, as decided by the three steps.
+
+    Attributes:
+        iteration: 1-based iteration index.
+        knapsack_values: per subscriber, the total QoE utility of the
+            streams requested in Step 1 (the Eq. 1 objective attained).
+        requests_total: number of (subscriber, publisher) stream requests.
+        merged_ladders: per publisher after Step 2's ``Meg()``, the merged
+            ladder as ``{resolution_name: bitrate_kbps}``.
+        deletion: the Step-3 ``(publisher, resolution_name)`` deletion, or
+            ``None`` when the iteration terminated the loop.
+        step_seconds: wall-clock seconds per step
+            (``{"knapsack": ..., "merge": ..., "reduction": ...}``).
+    """
+
+    iteration: int
+    knapsack_values: Dict[str, float] = field(default_factory=dict)
+    requests_total: int = 0
+    merged_ladders: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    deletion: Optional[Tuple[str, str]] = None
+    step_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSONL object for this iteration."""
+        return {
+            "record": "iteration",
+            "iteration": self.iteration,
+            "knapsack_values": {
+                k: round(v, 6) for k, v in sorted(self.knapsack_values.items())
+            },
+            "requests_total": self.requests_total,
+            "merged_ladders": {
+                pub: dict(sorted(ladder.items()))
+                for pub, ladder in sorted(self.merged_ladders.items())
+            },
+            "deletion": list(self.deletion) if self.deletion else None,
+            "step_seconds": {
+                k: round(v, 6) for k, v in sorted(self.step_seconds.items())
+            },
+        }
+
+
+@dataclass
+class SolveTrace:
+    """A full KMR solve: header metadata + per-iteration records + result.
+
+    Attributes:
+        publishers: publisher entity count of the problem.
+        subscribers: subscriber count of the problem.
+        granularity_kbps: the solver's DP grid step.
+        iterations: the per-iteration records, in order.
+        convergence_reason: :data:`REASON_SOLVED` or
+            :data:`REASON_ITERATION_CAP`.
+        total_iterations: number of KMR iterations executed.
+        reductions: every Step-3 deletion, in order, as
+            ``(publisher, resolution_name)``.
+        wall_time_s: end-to-end solve wall clock.
+    """
+
+    publishers: int = 0
+    subscribers: int = 0
+    granularity_kbps: int = 1
+    iterations: List[IterationRecord] = field(default_factory=list)
+    convergence_reason: str = ""
+    total_iterations: int = 0
+    reductions: List[Tuple[str, str]] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    def header_dict(self) -> Dict[str, object]:
+        return {
+            "record": "solve",
+            "schema": TRACE_SCHEMA,
+            "publishers": self.publishers,
+            "subscribers": self.subscribers,
+            "granularity_kbps": self.granularity_kbps,
+        }
+
+    def result_dict(self) -> Dict[str, object]:
+        return {
+            "record": "result",
+            "convergence_reason": self.convergence_reason,
+            "total_iterations": self.total_iterations,
+            "reductions": [list(r) for r in self.reductions],
+            "wall_time_s": round(self.wall_time_s, 6),
+        }
+
+    def to_jsonl_lines(self) -> List[str]:
+        """The trace as JSONL: header, iterations, result trailer."""
+        rows = (
+            [self.header_dict()]
+            + [it.to_dict() for it in self.iterations]
+            + [self.result_dict()]
+        )
+        return [json.dumps(row, sort_keys=True) for row in rows]
+
+    def to_jsonl(self) -> str:
+        return "\n".join(self.to_jsonl_lines()) + "\n"
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write the trace to ``path``; returns the path written."""
+        path = Path(path)
+        path.write_text(self.to_jsonl())
+        return path
+
+
+class TraceCollector:
+    """Accumulates the :class:`SolveTrace` of every solve while installed."""
+
+    def __init__(self) -> None:
+        self.traces: List[SolveTrace] = []
+
+    def begin_solve(
+        self, publishers: int, subscribers: int, granularity_kbps: int
+    ) -> SolveTrace:
+        """Start (and retain) a new trace; the solver fills it in."""
+        trace = SolveTrace(
+            publishers=publishers,
+            subscribers=subscribers,
+            granularity_kbps=granularity_kbps,
+        )
+        self.traces.append(trace)
+        return trace
+
+    @property
+    def last(self) -> Optional[SolveTrace]:
+        """The most recent trace, if any."""
+        return self.traces[-1] if self.traces else None
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write every collected trace, concatenated, as one JSONL file."""
+        path = Path(path)
+        lines: List[str] = []
+        for trace in self.traces:
+            lines.extend(trace.to_jsonl_lines())
+        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return path
+
+
+#: The installed collector; ``None`` keeps solver tracing disabled.
+_COLLECTOR: Optional[TraceCollector] = None
+
+
+def active_collector() -> Optional[TraceCollector]:
+    """The installed :class:`TraceCollector`, or ``None`` (tracing off)."""
+    return _COLLECTOR
+
+
+def set_collector(collector: Optional[TraceCollector]) -> None:
+    """Install (or, with ``None``, remove) the process-wide collector."""
+    global _COLLECTOR
+    _COLLECTOR = collector
+
+
+@contextmanager
+def collect_traces(
+    collector: Optional[TraceCollector] = None,
+) -> Iterator[TraceCollector]:
+    """Context manager: collect solver traces, then restore the previous
+    collector.  Yields the active collector."""
+    global _COLLECTOR
+    previous = _COLLECTOR
+    _COLLECTOR = collector if collector is not None else TraceCollector()
+    try:
+        yield _COLLECTOR
+    finally:
+        _COLLECTOR = previous

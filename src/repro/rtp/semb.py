@@ -1,19 +1,40 @@
 """SEMB — Sender Estimated Maximum Bitrate (Sec. 4.2).
 
 Uplink bandwidths are measured sender-side at clients and must reach the
-conference node quickly.  The paper defines SEMB "following the definition
-of receiver estimated maximum bitrate (REMB)" and ships it in-band inside
-an application-defined RTCP packet (PT=204): the reported bandwidth is
-``B = Mantissa * 2^Exp`` with a 6-bit exponent and an 18-bit mantissa, as in
-the REMB draft.
+conference node quickly: the global picture of Sec. 4.2 needs the uplink
+budget ``B_u_i`` of every publisher ``i`` before the Step-3 uplink checks
+(Eq. 14-17) can run.  The paper defines SEMB "following the definition of
+receiver estimated maximum bitrate (REMB)" and ships it *in-band* — over
+the media path, not the signaling channel — so a report survives exactly
+when the link it describes is alive.
 
-Wire layout of the APP data field (after the 4-byte name "SEMB")::
+**Carrier.** SEMB rides in an application-defined RTCP packet
+(**APP, PT=204**, RFC 3550 §6.7) whose 4-byte name field is ``"SEMB"``
+(:data:`SEMB_NAME`).  Using APP rather than a new PT keeps middleboxes and
+existing RTCP demuxers untouched — the same trick the paper uses for the
+GSO TMMBR/TMMBN configuration messages (:mod:`repro.rtp.tmmbr`).
+
+**Encoding.** The reported bandwidth is ``B = Mantissa * 2^Exp`` with a
+6-bit exponent and an 18-bit mantissa, exactly the REMB draft's floating
+point (`draft-alvestrand-rmcat-remb-03 §2.2
+<https://datatracker.ietf.org/doc/html/draft-alvestrand-rmcat-remb-03>`__).
+:func:`encode_exp_mantissa` rounds **up** so the decoded value never
+understates the measurement; with 18 mantissa bits the representable range
+tops out at ``(2^18 - 1) * 2^63`` bps, far beyond any real link.
+
+Wire layout of the APP data field (after the 4-byte name ``"SEMB"``)::
 
        0                   1                   2                   3
       +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
       |  Num SSRC     | BR Exp    |        BR Mantissa              |
       +---------------------------------------------------------------+
       |  SSRC feedback applies to (repeated Num SSRC times)           |
+
+The conference node consumes reports via
+``ConferenceNode.on_semb_report`` (uplink half of the global picture);
+the downlink half arrives server-side from the accessing nodes.  Encoded
+and parsed message counts are observable as the
+``repro_rtp_semb_messages_total`` counter (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -22,6 +43,8 @@ import struct
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from ..obs import names as obs_names
+from ..obs.registry import get_registry
 from .rtcp import AppPacket
 
 #: 4-byte APP name identifying SEMB packets.
@@ -92,6 +115,9 @@ class SembReport:
         data = struct.pack("!I", word)
         for ssrc in self.media_ssrcs:
             data += struct.pack("!I", ssrc)
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(obs_names.RTP_SEMB_MESSAGES, direction="encoded").inc()
         return AppPacket(
             subtype=0, ssrc=self.sender_ssrc, name=SEMB_NAME, data=data
         )
@@ -114,6 +140,9 @@ class SembReport:
         if len(packet.data) < 4 + 4 * num_ssrc:
             raise ValueError("SEMB SSRC list truncated")
         ssrcs = struct.unpack(f"!{num_ssrc}I", packet.data[4 : 4 + 4 * num_ssrc])
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(obs_names.RTP_SEMB_MESSAGES, direction="parsed").inc()
         return cls(
             sender_ssrc=packet.ssrc,
             bitrate_bps=decode_exp_mantissa(exp, mantissa),

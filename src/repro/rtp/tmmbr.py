@@ -27,8 +27,19 @@ import struct
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import names as obs_names
+from ..obs.registry import get_registry
 from .rtcp import AppPacket
 from .semb import decode_exp_mantissa, encode_exp_mantissa
+
+
+def _count_message(kind: str, direction: str) -> None:
+    """Bump the GSO TMMBR/TMMBN codec counter (no-op while obs is off)."""
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter(
+            obs_names.RTP_TMMBR_MESSAGES, kind=kind, direction=direction
+        ).inc()
 
 #: APP names for wrapped TMMBR (request) and TMMBN (notification).
 GSO_TMMBR_NAME = b"GTBR"
@@ -103,6 +114,7 @@ class GsoTmmbr:
         data = struct.pack("!I", self.request_id)
         for entry in self.entries:
             data += entry.serialize()
+        _count_message("tmmbr", "encoded")
         return AppPacket(
             subtype=1, ssrc=self.sender_ssrc, name=GSO_TMMBR_NAME, data=data
         )
@@ -119,6 +131,7 @@ class GsoTmmbr:
             TmmbrEntry.parse(packet.data[off : off + 8])
             for off in range(4, len(packet.data), 8)
         ]
+        _count_message("tmmbr", "parsed")
         return cls(
             sender_ssrc=packet.ssrc,
             request_id=request_id,
@@ -139,6 +152,7 @@ class GsoTmmbn:
         data = struct.pack("!I", self.request_id)
         for entry in self.entries:
             data += entry.serialize()
+        _count_message("tmmbn", "encoded")
         return AppPacket(
             subtype=2, ssrc=self.sender_ssrc, name=GSO_TMMBN_NAME, data=data
         )
@@ -153,6 +167,7 @@ class GsoTmmbn:
             TmmbrEntry.parse(packet.data[off : off + 8])
             for off in range(4, len(packet.data), 8)
         ]
+        _count_message("tmmbn", "parsed")
         return cls(
             sender_ssrc=packet.ssrc,
             request_id=request_id,

@@ -244,6 +244,15 @@ class TestSolverMechanics:
         with pytest.raises(ValueError):
             SolverConfig(max_iterations=0)
 
+    def test_config_rejects_negative_stickiness(self):
+        """Regression: stickiness is a QoE bonus and must be >= 0; a
+        negative value would silently *penalize* keeping the incumbent."""
+        with pytest.raises(ValueError, match="stickiness"):
+            SolverConfig(stickiness=-0.1)
+
+    def test_config_accepts_zero_stickiness(self):
+        assert SolverConfig(stickiness=0.0).stickiness == 0.0
+
 
 class TestAgainstJointBruteforce:
     """Randomized small meetings: KMR's Step-1 objective must stay near the

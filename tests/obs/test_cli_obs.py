@@ -1,0 +1,111 @@
+"""Tests for the ``repro obs`` CLI subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs import names
+from repro.obs.registry import get_registry
+from repro.obs.trace import active_collector
+
+
+class TestParser:
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_obs_solve_defaults(self):
+        args = build_parser().parse_args(["obs", "solve", "A:1:2", "B:3:4"])
+        assert args.format == "prom"
+        assert args.metrics_out is None
+        assert args.trace_out is None
+
+    def test_obs_solve_format_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["obs", "solve", "A:1:2", "B:3:4", "--format", "xml"]
+            )
+
+
+class TestObsSolve:
+    def test_prints_all_sections(self, capsys):
+        rc = main(["obs", "solve", "A:500:3000", "B:5000:3000", "C:5000:3000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "publishes" in out
+        assert "span timings" in out
+        assert "kmr.solve" in out
+        assert "kmr trace" in out
+        assert '"record": "solve"' in out
+        assert "repro_kmr_solves_total 1" in out
+
+    def test_instrumentation_restored_afterwards(self, capsys):
+        main(["obs", "solve", "A:500:3000", "B:5000:3000"])
+        assert not get_registry().enabled
+        assert active_collector() is None
+
+    def test_json_format(self, capsys):
+        rc = main(
+            ["obs", "solve", "A:500:3000", "B:5000:3000", "--format", "json"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert '"counters"' in out
+
+    def test_writes_artifacts(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        trace = tmp_path / "trace.jsonl"
+        rc = main(
+            [
+                "obs", "solve", "A:500:3000", "B:5000:3000", "C:5000:3000",
+                "--metrics-out", str(metrics), "--trace-out", str(trace),
+            ]
+        )
+        assert rc == 0
+        assert names.KMR_SOLVES in metrics.read_text()
+        rows = [json.loads(l) for l in trace.read_text().splitlines()]
+        assert rows[0]["record"] == "solve"
+        assert rows[-1]["record"] == "result"
+
+    def test_rejects_single_client(self, capsys):
+        assert main(["obs", "solve", "A:500:3000"]) == 2
+
+
+class TestObsExample:
+    def test_missing_example_errors(self, capsys):
+        rc = main(["obs", "example", "no_such_example"])
+        assert rc == 2
+        assert "no_such_example" in capsys.readouterr().err
+
+    def test_runs_script_under_instrumentation(self, tmp_path, capsys):
+        # A miniature "example": one KMR solve, written as a script so the
+        # test exercises the same runpy path as examples/*.py.
+        script = tmp_path / "tiny_meeting.py"
+        script.write_text(
+            "from repro.core import (Bandwidth, GsoSolver, ProblemBuilder,\n"
+            "                        Resolution, paper_ladder)\n"
+            "b = ProblemBuilder()\n"
+            "b.add_client('A', Bandwidth(500, 3000), paper_ladder())\n"
+            "b.add_client('B', Bandwidth(5000, 3000), paper_ladder())\n"
+            "b.subscribe('A', 'B', Resolution.P360)\n"
+            "b.subscribe('B', 'A', Resolution.P720)\n"
+            "print(GsoSolver().solve(b.build()).summary())\n"
+        )
+        rc = main(["obs", "example", str(script)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kmr trace" in out
+        assert "repro_kmr_solves_total 1" in out
+        assert not get_registry().enabled
+
+
+class TestObsNames:
+    def test_lists_every_metric_and_span(self, capsys):
+        rc = main(["obs", "names"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for metric in names.ALL_METRICS:
+            assert metric in out
+        for span_name in names.ALL_SPANS:
+            assert span_name in out

@@ -1,0 +1,244 @@
+"""Tests for the KMR solver trace: collector plumbing, JSONL output, and a
+golden-file schema test on a small 3-publisher meeting."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    Bandwidth,
+    GsoSolver,
+    ProblemBuilder,
+    Resolution,
+    paper_ladder,
+)
+from repro.obs.registry import enabled_registry
+from repro.obs.trace import (
+    REASON_ITERATION_CAP,
+    REASON_SOLVED,
+    TRACE_SCHEMA,
+    IterationRecord,
+    SolveTrace,
+    TraceCollector,
+    active_collector,
+    collect_traces,
+    set_collector,
+)
+
+
+def three_publisher_problem():
+    """A<->B<->C full mesh on the paper ladder, with A's uplink below the
+    720p rung so the KMR loop needs a Step-3 reduction to converge."""
+    b = ProblemBuilder()
+    ladder = paper_ladder()
+    b.add_client("A", Bandwidth(500, 3000), ladder)
+    b.add_client("B", Bandwidth(5000, 3000), ladder)
+    b.add_client("C", Bandwidth(5000, 3000), ladder)
+    b.subscribe("A", "B", Resolution.P360)
+    b.subscribe("A", "C", Resolution.P180)
+    b.subscribe("B", "A", Resolution.P720)
+    b.subscribe("B", "C", Resolution.P360)
+    b.subscribe("C", "B", Resolution.P360)
+    b.subscribe("C", "A", Resolution.P720)
+    return b.build()
+
+
+class TestCollectorPlumbing:
+    def test_disabled_by_default(self):
+        assert active_collector() is None
+
+    def test_collect_traces_installs_and_restores(self):
+        with collect_traces() as collector:
+            assert active_collector() is collector
+            assert collector.last is None
+        assert active_collector() is None
+
+    def test_collect_traces_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with collect_traces():
+                raise RuntimeError("boom")
+        assert active_collector() is None
+
+    def test_nested_collectors_restore_previous(self):
+        with collect_traces() as outer:
+            with collect_traces() as inner:
+                assert active_collector() is inner
+            assert active_collector() is outer
+
+    def test_set_collector_explicit(self):
+        collector = TraceCollector()
+        set_collector(collector)
+        try:
+            assert active_collector() is collector
+        finally:
+            set_collector(None)
+        assert active_collector() is None
+
+    def test_begin_solve_retains_trace(self):
+        collector = TraceCollector()
+        trace = collector.begin_solve(publishers=3, subscribers=3,
+                                      granularity_kbps=10)
+        assert collector.traces == [trace]
+        assert collector.last is trace
+
+
+class TestSolverIntegration:
+    def test_no_tracing_without_collector(self):
+        # Plain solves must not leave a collector installed or crash.
+        solution = GsoSolver().solve(three_publisher_problem())
+        solution.validate(three_publisher_problem())
+        assert active_collector() is None
+
+    def test_solver_fills_trace(self):
+        problem = three_publisher_problem()
+        with collect_traces() as collector:
+            solution, stats = GsoSolver().solve_with_stats(problem)
+        trace = collector.last
+        assert trace is not None
+        assert trace.publishers == 3 and trace.subscribers == 3
+        assert trace.convergence_reason == REASON_SOLVED
+        assert trace.total_iterations == stats.iterations
+        assert len(trace.iterations) == stats.iterations
+        assert trace.wall_time_s > 0.0
+        # Every non-final iteration carries the Step-3 deletion that forced
+        # another loop; the reductions list mirrors them in order.
+        deletions = [it.deletion for it in trace.iterations if it.deletion]
+        assert deletions == trace.reductions
+        assert trace.reductions == [
+            (str(pub), res.name) for pub, res in stats.reductions
+        ]
+        # A's 500 kbps uplink forces the P720 rung to be reduced away.
+        assert ("A", "P720") in trace.reductions
+
+    def test_iteration_records_are_structured(self):
+        problem = three_publisher_problem()
+        with collect_traces() as collector:
+            GsoSolver().solve(problem)
+        first = collector.last.iterations[0]
+        assert first.iteration == 1
+        assert set(first.knapsack_values) == {"A", "B", "C"}
+        assert all(v >= 0 for v in first.knapsack_values.values())
+        assert first.requests_total == 6
+        assert set(first.merged_ladders) == {"A", "B", "C"}
+        for ladder in first.merged_ladders.values():
+            for res_name, kbps in ladder.items():
+                assert res_name.startswith("P")
+                assert kbps > 0
+        assert set(first.step_seconds) >= {"knapsack", "merge", "reduction"}
+
+    def test_collector_accumulates_across_solves(self):
+        problem = three_publisher_problem()
+        with collect_traces() as collector:
+            GsoSolver().solve(problem)
+            GsoSolver().solve(problem)
+        assert len(collector.traces) == 2
+
+    def test_tracing_composes_with_metrics(self):
+        problem = three_publisher_problem()
+        with enabled_registry() as reg, collect_traces() as collector:
+            GsoSolver().solve(problem)
+        assert collector.last is not None
+        assert reg.counter("repro_kmr_solves_total").value == 1
+
+
+class TestGoldenSchema:
+    """Pin the ``repro.kmr_trace/v1`` JSONL schema on the 3-publisher
+    meeting.  If this test fails because the shape changed, bump
+    ``TRACE_SCHEMA`` and update ``docs/OBSERVABILITY.md``."""
+
+    HEADER_KEYS = {
+        "record", "schema", "publishers", "subscribers", "granularity_kbps",
+    }
+    ITERATION_KEYS = {
+        "record", "iteration", "knapsack_values", "requests_total",
+        "merged_ladders", "deletion", "step_seconds",
+    }
+    RESULT_KEYS = {
+        "record", "convergence_reason", "total_iterations", "reductions",
+        "wall_time_s",
+    }
+
+    def _trace_rows(self):
+        with collect_traces() as collector:
+            GsoSolver().solve(three_publisher_problem())
+        return [json.loads(line) for line in collector.last.to_jsonl_lines()]
+
+    def test_jsonl_structure(self):
+        rows = self._trace_rows()
+        assert len(rows) >= 3  # header + >=1 iteration + trailer
+        header, iterations, result = rows[0], rows[1:-1], rows[-1]
+
+        assert header["record"] == "solve"
+        assert header["schema"] == TRACE_SCHEMA == "repro.kmr_trace/v1"
+        assert set(header) == self.HEADER_KEYS
+        assert header["publishers"] == 3
+        assert header["subscribers"] == 3
+
+        for i, row in enumerate(iterations, start=1):
+            assert row["record"] == "iteration"
+            assert set(row) == self.ITERATION_KEYS
+            assert row["iteration"] == i
+            assert isinstance(row["knapsack_values"], dict)
+            assert isinstance(row["merged_ladders"], dict)
+            assert row["deletion"] is None or (
+                isinstance(row["deletion"], list) and len(row["deletion"]) == 2
+            )
+
+        assert result["record"] == "result"
+        assert set(result) == self.RESULT_KEYS
+        assert result["convergence_reason"] in (
+            REASON_SOLVED, REASON_ITERATION_CAP,
+        )
+        assert result["total_iterations"] == len(iterations)
+        assert all(len(r) == 2 for r in result["reductions"])
+
+    def test_trace_is_deterministic(self):
+        assert self._trace_rows_without_timing() == \
+            self._trace_rows_without_timing()
+
+    def _trace_rows_without_timing(self):
+        rows = self._trace_rows()
+        for row in rows:
+            row.pop("step_seconds", None)
+            row.pop("wall_time_s", None)
+        return rows
+
+    def test_write_jsonl_round_trips(self, tmp_path):
+        with collect_traces() as collector:
+            GsoSolver().solve(three_publisher_problem())
+        path = collector.last.write_jsonl(tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["record"] == "solve"
+        assert json.loads(lines[-1])["record"] == "result"
+
+    def test_collector_write_jsonl_concatenates(self, tmp_path):
+        with collect_traces() as collector:
+            GsoSolver().solve(three_publisher_problem())
+            GsoSolver().solve(three_publisher_problem())
+        path = collector.write_jsonl(tmp_path / "all.jsonl")
+        records = [json.loads(l)["record"] for l in path.read_text().splitlines()]
+        assert records.count("solve") == 2
+        assert records.count("result") == 2
+
+
+class TestRecordShapes:
+    def test_iteration_to_dict_rounds_and_sorts(self):
+        rec = IterationRecord(
+            iteration=2,
+            knapsack_values={"b": 1.23456789, "a": 2.0},
+            requests_total=4,
+            merged_ladders={"b": {"P360": 800}, "a": {"P720": 1500}},
+            deletion=("a", "P720"),
+            step_seconds={"merge": 0.000123456789},
+        )
+        d = rec.to_dict()
+        assert list(d["knapsack_values"]) == ["a", "b"]
+        assert d["knapsack_values"]["b"] == 1.234568
+        assert list(d["merged_ladders"]) == ["a", "b"]
+        assert d["deletion"] == ["a", "P720"]
+        assert d["step_seconds"]["merge"] == 0.000123
+
+    def test_empty_trace_serializes(self):
+        trace = SolveTrace(publishers=0, subscribers=0, granularity_kbps=1)
+        lines = trace.to_jsonl_lines()
+        assert len(lines) == 2  # header + trailer, no iterations
