@@ -8,6 +8,13 @@ Four subcommands cover the library's main entry points:
   report (optionally comparing two schemes);
 * ``rollout`` — run the fleet/deployment simulation for a date range and
   print daily metrics;
+* ``cluster`` — the sharded controller cluster (``docs/ARCHITECTURE.md``,
+  "Controller cluster"): ``cluster run`` pushes a fleet workload through
+  the cluster's solve service (sharding + fingerprint cache + worker
+  pool) and reports daily metrics plus cluster counters; ``cluster
+  stats`` drives a synthetic event/tick workload through the shard
+  schedulers (coalescing, admission, optional shard kill) and dumps the
+  stats snapshot;
 * ``obs`` — the observability surface (see ``docs/OBSERVABILITY.md``):
   run a solve or an example with instrumentation enabled and dump the
   metrics snapshot + per-iteration KMR trace (``obs solve``,
@@ -127,6 +134,130 @@ def _cmd_rollout(args: argparse.Namespace) -> int:
         )
         day += dt.timedelta(days=args.stride)
     return 0
+
+
+# --------------------------------------------------------------------- #
+# Cluster commands
+# --------------------------------------------------------------------- #
+
+
+def _make_cluster(args: argparse.Namespace) -> "object":
+    from .cluster import ClusterConfig, ControllerCluster
+
+    try:
+        config = ClusterConfig(
+            shards=args.shards,
+            cache_capacity=args.cache_capacity,
+            pool_workers=args.workers,
+            max_solves_per_round=args.max_solves_per_round,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro cluster: {exc}")
+    return ControllerCluster(config)
+
+
+def _print_cluster_stats(cluster: "object") -> None:
+    import json
+
+    print("\n=== cluster stats ===")
+    print(json.dumps(cluster.stats(), indent=2))
+
+
+def _cmd_cluster_run(args: argparse.Namespace) -> int:
+    from .deploy import DeploymentSimulation
+
+    day = dt.date.fromisoformat(args.start)
+    end = dt.date.fromisoformat(args.end)
+    if end < day:
+        print("end date precedes start date", file=sys.stderr)
+        return 2
+    cluster = _make_cluster(args)
+    try:
+        sim = DeploymentSimulation(
+            conferences_per_day=args.conferences, cluster=cluster
+        )
+        print("date        coverage  video-stall  voice-stall  framerate")
+        while day <= end:
+            p = sim.run_day(day)
+            print(
+                f"{p.day}  {p.coverage:8.2f}  {p.video_stall:11.3f}  "
+                f"{p.voice_stall:11.3f}  {p.framerate:9.1f}"
+            )
+            day += dt.timedelta(days=args.stride)
+        _print_cluster_stats(cluster)
+    finally:
+        cluster.close()
+    return 0
+
+
+def _cmd_cluster_stats(args: argparse.Namespace) -> int:
+    """Drive a synthetic event workload through the shard schedulers."""
+    import random as _random
+
+    from .deploy.fleet import FleetSampler
+    from .deploy.rollout import DeploymentSimulation
+
+    cluster = _make_cluster(args)
+    try:
+        sim = DeploymentSimulation()
+        sampler = FleetSampler(_random.Random(args.seed))
+        scorer_problems = []
+        from .deploy.fleet import ConferenceScorer
+
+        scorer = ConferenceScorer()
+        for i in range(args.meetings):
+            rng = sim._conference_rng(dt.date(2021, 12, 25), i)
+            conf = sampler.sample_conference(rng=rng)
+            scorer_problems.append(
+                (f"meeting-{i}", scorer._gso_problem(conf))
+            )
+        killed = False
+        for tick in range(args.ticks):
+            now = float(tick)
+            # Event churn: every meeting re-reports each tick; half report
+            # twice (coalesced into one pending solve).
+            for i, (mid, problem) in enumerate(scorer_problems):
+                cluster.submit(mid, problem, now)
+                if i % 2 == 0:
+                    cluster.submit(mid, problem, now)
+            if args.kill_shard and not killed and tick == args.ticks // 2:
+                # Kill the busiest shard so the failover actually shows.
+                victim = max(
+                    cluster.live_shards,
+                    key=lambda n: cluster.stats()["shards"][n]["meetings"],
+                )
+                served = cluster.kill_shard(victim, now)
+                print(
+                    f"[tick {tick}] killed {victim}: {len(served)} "
+                    "meeting(s) degraded to fallback and re-homed"
+                )
+                killed = True
+            served = cluster.tick(now)
+            by_source: dict = {}
+            for s in served:
+                by_source[s.source] = by_source.get(s.source, 0) + 1
+            print(f"[tick {tick}] served {len(served)}: {by_source}")
+        _print_cluster_stats(cluster)
+    finally:
+        cluster.close()
+    return 0
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=4096,
+        help="fingerprint-cache entries (0 disables caching)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="solve-pool processes (0 = in-process)",
+    )
+    parser.add_argument("--max-solves-per-round", type=int, default=64)
 
 
 # --------------------------------------------------------------------- #
@@ -286,6 +417,37 @@ def build_parser() -> argparse.ArgumentParser:
     rollout.add_argument("--stride", type=int, default=7)
     rollout.add_argument("--conferences", type=int, default=100)
     rollout.set_defaults(func=_cmd_rollout)
+
+    cluster = sub.add_parser(
+        "cluster", help="run workloads on the sharded controller cluster"
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    cluster_run = cluster_sub.add_parser(
+        "run",
+        help="run the fleet simulation through the cluster solve service",
+    )
+    cluster_run.add_argument("--start", default="2021-12-20")
+    cluster_run.add_argument("--end", default="2021-12-27")
+    cluster_run.add_argument("--stride", type=int, default=1)
+    cluster_run.add_argument("--conferences", type=int, default=100)
+    _add_cluster_args(cluster_run)
+    cluster_run.set_defaults(func=_cmd_cluster_run)
+
+    cluster_stats = cluster_sub.add_parser(
+        "stats",
+        help="drive a synthetic event/tick workload and dump cluster stats",
+    )
+    cluster_stats.add_argument("--meetings", type=int, default=12)
+    cluster_stats.add_argument("--ticks", type=int, default=6)
+    cluster_stats.add_argument("--seed", type=int, default=7)
+    cluster_stats.add_argument(
+        "--kill-shard",
+        action="store_true",
+        help="kill one shard mid-run to demonstrate Sec. 7 failover",
+    )
+    _add_cluster_args(cluster_stats)
+    cluster_stats.set_defaults(func=_cmd_cluster_stats)
 
     obs_parser = sub.add_parser(
         "obs",

@@ -1,0 +1,121 @@
+"""Fingerprint-keyed solution cache: the cluster's repeat-solve shortcut.
+
+Fleet workloads have heavy structural repetition — the controller re-solves
+every meeting each 1–3 s (Fig. 12) and most ticks see an unchanged global
+picture, while across meetings the population model keeps producing the
+same small-mesh shapes.  ``Problem.fingerprint()`` canonicalizes exactly
+the inputs the solver can distinguish, so a fingerprint hit may legally
+return the previously computed solution byte-for-byte.
+
+The cache is a bounded LRU.  Stored and returned solutions are isolated
+(fresh outer dicts around the immutable entries) so one meeting mutating
+its copy can never corrupt another meeting's hit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.solution import Solution
+from ..obs import names as obs_names
+from ..obs.registry import get_registry
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`SolutionCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups (0.0 before the first lookup)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+def _isolate(solution: Solution) -> Solution:
+    """Copy the mutable outer layers of a solution.
+
+    ``PolicyEntry`` and ``StreamSpec`` are frozen, so copying the two dict
+    levels (and the ``reduced`` list) is enough for safe sharing.
+    """
+    return Solution(
+        policies={pub: dict(entries) for pub, entries in solution.policies.items()},
+        assignments={sub: dict(per) for sub, per in solution.assignments.items()},
+        iterations=solution.iterations,
+        reduced=list(solution.reduced),
+    )
+
+
+class SolutionCache:
+    """Bounded LRU cache of solved problems, keyed by fingerprint.
+
+    Args:
+        capacity: maximum retained entries; least-recently-used entries are
+            evicted beyond it.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Solution]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[Solution]:
+        """Look up a fingerprint; returns an isolated copy on a hit."""
+        reg = get_registry()
+        cached = self._entries.get(key)
+        if cached is None:
+            self.stats.misses += 1
+            if reg.enabled:
+                reg.counter(obs_names.CLUSTER_CACHE, result="miss").inc()
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        if reg.enabled:
+            reg.counter(obs_names.CLUSTER_CACHE, result="hit").inc()
+        return _isolate(cached)
+
+    def put(self, key: str, solution: Solution) -> None:
+        """Insert (or refresh) a solution under its fingerprint."""
+        self._entries[key] = _isolate(solution)
+        self._entries.move_to_end(key)
+        evicted = 0
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            evicted += 1
+        self.stats.evictions += evicted
+        self.stats.entries = len(self._entries)
+        reg = get_registry()
+        if reg.enabled:
+            if evicted:
+                reg.counter(obs_names.CLUSTER_CACHE_EVICTIONS).inc(evicted)
+            reg.gauge(obs_names.CLUSTER_CACHE_ENTRIES).set(len(self._entries))
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
+        self._entries.clear()
+        self.stats.entries = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SolutionCache(entries={len(self._entries)}/{self.capacity}, "
+            f"hit_rate={self.stats.hit_rate:.2f})"
+        )

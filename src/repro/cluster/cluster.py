@@ -1,0 +1,600 @@
+"""The sharded controller cluster: many meetings, one disciplined solve
+service.
+
+The paper's control plane orchestrates every meeting every 1–3 s across
+~1M conferences/day (Sec. 6); *Tetris* (PAPERS.md) frames hosting that
+workload on a bounded server fleet as a first-class packing problem.  This
+module is the reproduction's control-plane host:
+
+* **sharding** — meetings land on shard workers via a consistent-hash ring
+  (:mod:`.hashring`); a shard death re-homes only its own meetings;
+* **scheduling** — each shard coalesces/debounces solve demand into the
+  Fig. 12 envelope (:mod:`.scheduler`);
+* **caching** — solves are keyed by the canonical problem fingerprint and
+  served from a bounded LRU when the structure repeats (:mod:`.cache`);
+* **execution** — cache misses run on the solve pool (:mod:`.pool`),
+  optionally multiprocess;
+* **admission** — per-round solve budgets shed overload to the Sec. 7
+  single-stream fallback instead of stalling the queue (:mod:`.admission`).
+
+Failure discipline is inherited from Sec. 7 end to end: a dead shard, a
+shed request and a crashing solver all degrade the affected meeting to
+:func:`~repro.control.failover.single_stream_fallback` — the service
+continues, and the meeting re-converges to a full KMR solution on its next
+scheduled solve.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..control.failover import single_stream_fallback
+from ..core.constraints import Problem
+from ..core.solution import Solution
+from ..core.solver import SolverConfig
+from ..obs import names as obs_names
+from ..obs.registry import get_registry
+from ..obs.spans import span
+from .admission import AdmissionController
+from .cache import SolutionCache
+from .hashring import ConsistentHashRing
+from .pool import SolvePool
+from .scheduler import (
+    SolveRequest,
+    SolveScheduler,
+    TRIGGER_REHOME,
+    TRIGGER_SYNC,
+)
+
+#: ``ServedSolution.source`` values.
+SOURCE_SOLVE = "solve"
+SOURCE_CACHE = "cache"
+SOURCE_FALLBACK = "fallback"
+SOURCE_SHED = "shed"
+
+
+@dataclass
+class ClusterConfig:
+    """Sizing and policy knobs of the controller cluster."""
+
+    #: Initial shard workers (named ``shard-0`` .. ``shard-N-1``).
+    shards: int = 4
+    #: Virtual ring points per shard.
+    vnodes: int = 64
+    #: Fig. 12 envelope applied by every shard scheduler.
+    min_interval_s: float = 1.0
+    max_interval_s: float = 3.0
+    #: Fingerprint cache; 0 disables caching entirely.
+    cache_capacity: int = 4096
+    #: Full solves one shard may run per tick; the rest shed to fallback.
+    max_solves_per_round: int = 64
+    #: Solve-pool processes for cache-miss batches (0 = in-process).
+    pool_workers: int = 0
+    #: Solver tuning shared by every shard (the fingerprint granularity).
+    solver: SolverConfig = field(
+        default_factory=lambda: SolverConfig(granularity_kbps=25)
+    )
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("need at least one shard")
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be >= 0")
+        if self.pool_workers < 0:
+            raise ValueError("pool_workers must be >= 0")
+        if self.max_solves_per_round < 1:
+            raise ValueError("max_solves_per_round must be >= 1")
+
+    @property
+    def cache_enabled(self) -> bool:
+        """True when a solution cache is configured."""
+        return self.cache_capacity > 0
+
+
+@dataclass
+class ServedSolution:
+    """One configuration pushed to a meeting by the cluster."""
+
+    meeting_id: str
+    shard: str
+    solution: Solution
+    #: Where the configuration came from: a fresh solve, a cache hit, a
+    #: failure fallback, or an admission shed (also a fallback, tagged
+    #: separately for accounting).
+    source: str = SOURCE_SOLVE
+    trigger: str = TRIGGER_SYNC
+
+
+@dataclass
+class MeetingRecord:
+    """Cluster-side state of one hosted meeting."""
+
+    meeting_id: str
+    shard: str
+    last_problem: Optional[Problem] = None
+    last_solution: Optional[Solution] = None
+    solves: int = 0
+    cache_hits: int = 0
+    fallbacks: int = 0
+    rehomes: int = 0
+
+
+class ShardWorker:
+    """One controller shard: a scheduler plus an admission budget."""
+
+    def __init__(self, name: str, config: ClusterConfig) -> None:
+        self.name = name
+        self.alive = True
+        self.scheduler = SolveScheduler(
+            min_interval_s=config.min_interval_s,
+            max_interval_s=config.max_interval_s,
+        )
+        self.admission = AdmissionController(
+            max_solves_per_round=config.max_solves_per_round
+        )
+        self.solves = 0
+        self.fallbacks = 0
+
+
+class ControllerCluster:
+    """Hosts many meetings across shard workers behind one solve service.
+
+    Typical use (virtual-time driven)::
+
+        cluster = ControllerCluster(ClusterConfig(shards=4))
+        cluster.submit("meeting-1", problem, now_s=0.0)   # event trigger
+        served = cluster.tick(now_s=1.0)                  # run due solves
+
+    or, for synchronous workloads (the fleet simulation)::
+
+        solution = cluster.solve_conference("conf-17", problem)
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config or ClusterConfig()
+        names = [f"shard-{i}" for i in range(self.config.shards)]
+        self._ring = ConsistentHashRing(names, vnodes=self.config.vnodes)
+        self._shards: Dict[str, ShardWorker] = {
+            name: ShardWorker(name, self.config) for name in names
+        }
+        self.cache: Optional[SolutionCache] = (
+            SolutionCache(self.config.cache_capacity)
+            if self.config.cache_enabled
+            else None
+        )
+        self.pool = SolvePool(
+            solver_config=self.config.solver, workers=self.config.pool_workers
+        )
+        self._meetings: Dict[str, MeetingRecord] = {}
+        self.shard_failovers = 0
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+
+    @property
+    def live_shards(self) -> List[str]:
+        """Names of shards currently serving, sorted."""
+        return sorted(n for n, s in self._shards.items() if s.alive)
+
+    @property
+    def meetings(self) -> List[str]:
+        """Hosted meeting ids, sorted."""
+        return sorted(self._meetings)
+
+    def shard_of(self, meeting_id: str) -> str:
+        """The live shard a meeting id hashes to."""
+        return self._ring.node_for(meeting_id)
+
+    def meeting(self, meeting_id: str) -> MeetingRecord:
+        """The cluster-side record of a hosted meeting."""
+        return self._meetings[meeting_id]
+
+    def register(self, meeting_id: str) -> str:
+        """Home a meeting on its ring shard (idempotent); returns the shard."""
+        record = self._meetings.get(meeting_id)
+        if record is None:
+            record = MeetingRecord(meeting_id, self.shard_of(meeting_id))
+            self._meetings[meeting_id] = record
+            self._refresh_meeting_gauges()
+        return record.shard
+
+    def _refresh_meeting_gauges(self) -> None:
+        reg = get_registry()
+        if not reg.enabled:
+            return
+        per_shard = {name: 0 for name in self._shards}
+        for record in self._meetings.values():
+            per_shard[record.shard] = per_shard.get(record.shard, 0) + 1
+        for name, count in per_shard.items():
+            reg.gauge(obs_names.CLUSTER_MEETINGS, shard=name).set(count)
+
+    # ------------------------------------------------------------------ #
+    # Demand
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        meeting_id: str,
+        problem: Problem,
+        now_s: float,
+        trigger: str = "event",
+    ) -> str:
+        """File an event-triggered solve request; returns the owning shard."""
+        shard = self.register(meeting_id)
+        record = self._meetings[meeting_id]
+        record.last_problem = problem
+        self._shards[shard].scheduler.submit(
+            meeting_id, problem, now_s, trigger=trigger
+        )
+        return shard
+
+    # ------------------------------------------------------------------ #
+    # The solve service
+    # ------------------------------------------------------------------ #
+
+    def _cache_key(self, problem: Problem) -> str:
+        return problem.fingerprint(self.config.solver.granularity_kbps)
+
+    def _fallback(self, record: MeetingRecord, problem: Problem) -> Solution:
+        """Serve the Sec. 7 degenerate configuration and account for it."""
+        solution = single_stream_fallback(problem)
+        record.fallbacks += 1
+        shard = self._shards.get(record.shard)
+        if shard is not None:
+            shard.fallbacks += 1
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(obs_names.CLUSTER_FALLBACKS).inc()
+        return solution
+
+    def _serve(
+        self,
+        record: MeetingRecord,
+        problem: Problem,
+        solution: Solution,
+        source: str,
+        trigger: str,
+        now_s: float,
+    ) -> ServedSolution:
+        """Commit a configuration to a meeting's record and scheduler."""
+        record.last_problem = problem
+        record.last_solution = solution
+        if source == SOURCE_SOLVE:
+            record.solves += 1
+        elif source == SOURCE_CACHE:
+            record.cache_hits += 1
+        shard = self._shards.get(record.shard)
+        if shard is not None:
+            if source in (SOURCE_SOLVE, SOURCE_CACHE):
+                shard.solves += 1
+            shard.scheduler.mark_solved(record.meeting_id, problem, now_s)
+        return ServedSolution(
+            meeting_id=record.meeting_id,
+            shard=record.shard,
+            solution=solution,
+            source=source,
+            trigger=trigger,
+        )
+
+    def _solve_service(self, problem: Problem) -> Tuple[Solution, str]:
+        """Cache lookup, then solve; returns (solution, source).
+
+        Raises whatever the solver raises — callers map failures to the
+        fallback policy.
+        """
+        start = time.perf_counter()
+        with span(obs_names.SPAN_CLUSTER_SOLVE):
+            key = self._cache_key(problem) if self.cache is not None else None
+            if key is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    self._observe_solve_seconds(start)
+                    return cached, SOURCE_CACHE
+            solution = self.pool.solve(problem)
+            if key is not None:
+                self.cache.put(key, solution)
+        self._observe_solve_seconds(start)
+        return solution, SOURCE_SOLVE
+
+    @staticmethod
+    def _observe_solve_seconds(start: float) -> None:
+        reg = get_registry()
+        if reg.enabled:
+            reg.histogram(obs_names.CLUSTER_SOLVE_SECONDS).observe(
+                time.perf_counter() - start
+            )
+
+    def solve_conference(self, meeting_id: str, problem: Problem) -> Solution:
+        """Synchronous solve-service path (fleet workloads).
+
+        Routes through the meeting's shard for accounting, consults the
+        fingerprint cache, and never raises: solver failures degrade to
+        the single-stream fallback (Sec. 7).
+        """
+        self.register(meeting_id)
+        record = self._meetings[meeting_id]
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(
+                obs_names.CLUSTER_SOLVE_REQUESTS, trigger=TRIGGER_SYNC
+            ).inc()
+        try:
+            solution, source = self._solve_service(problem)
+        except Exception:
+            solution = self._fallback(record, problem)
+            source = SOURCE_FALLBACK
+        return self._serve(
+            record, problem, solution, source, TRIGGER_SYNC, now_s=0.0
+        ).solution
+
+    # ------------------------------------------------------------------ #
+    # The scheduling loop
+    # ------------------------------------------------------------------ #
+
+    def tick(self, now_s: float) -> List[ServedSolution]:
+        """Run one scheduling round across every live shard.
+
+        Per shard: pop due requests, admit up to the round budget, shed
+        the rest to fallback, serve admitted requests from the cache or
+        the solve pool (batched).  Returns everything served this round,
+        in deterministic (shard, due-time, meeting) order.
+        """
+        served: List[ServedSolution] = []
+        reg = get_registry()
+        with span(obs_names.SPAN_CLUSTER_TICK):
+            for name in self.live_shards:
+                worker = self._shards[name]
+                due = worker.scheduler.due(now_s)
+                if reg.enabled:
+                    reg.histogram(
+                        obs_names.CLUSTER_QUEUE_DEPTH, shard=name
+                    ).observe(len(due))
+                if not due:
+                    continue
+                admitted, shed = worker.admission.admit(due)
+                for request in shed:
+                    record = self._meetings[request.meeting_id]
+                    solution = self._fallback(record, request.problem)
+                    served.append(
+                        self._serve(
+                            record,
+                            request.problem,
+                            solution,
+                            SOURCE_SHED,
+                            request.trigger,
+                            now_s,
+                        )
+                    )
+                served.extend(self._run_admitted(admitted, now_s))
+        return served
+
+    def _run_admitted(
+        self, admitted: List[SolveRequest], now_s: float
+    ) -> List[ServedSolution]:
+        """Serve admitted requests: cache hits inline, misses batched."""
+        served: List[ServedSolution] = []
+        misses: List[SolveRequest] = []
+        for request in admitted:
+            record = self._meetings[request.meeting_id]
+            if self.cache is not None:
+                start = time.perf_counter()
+                cached = self.cache.get(self._cache_key(request.problem))
+                if cached is not None:
+                    self._observe_solve_seconds(start)
+                    served.append(
+                        self._serve(
+                            record,
+                            request.problem,
+                            cached,
+                            SOURCE_CACHE,
+                            request.trigger,
+                            now_s,
+                        )
+                    )
+                    continue
+            misses.append(request)
+        if not misses:
+            return served
+        try:
+            start = time.perf_counter()
+            solutions = self.pool.solve_many([r.problem for r in misses])
+            batch_failed = False
+        except Exception:
+            solutions = []
+            batch_failed = True
+        if batch_failed:
+            # Retry individually so one poisoned problem degrades only its
+            # own meeting (Sec. 7), not the whole batch.
+            for request in misses:
+                record = self._meetings[request.meeting_id]
+                try:
+                    solution, source = self._solve_service(request.problem)
+                except Exception:
+                    solution = self._fallback(record, request.problem)
+                    source = SOURCE_FALLBACK
+                served.append(
+                    self._serve(
+                        record,
+                        request.problem,
+                        solution,
+                        source,
+                        request.trigger,
+                        now_s,
+                    )
+                )
+            return served
+        per_solve = (time.perf_counter() - start) / max(1, len(misses))
+        reg = get_registry()
+        for request, solution in zip(misses, solutions):
+            if reg.enabled:
+                reg.histogram(obs_names.CLUSTER_SOLVE_SECONDS).observe(
+                    per_solve
+                )
+            record = self._meetings[request.meeting_id]
+            if self.cache is not None:
+                self.cache.put(self._cache_key(request.problem), solution)
+            served.append(
+                self._serve(
+                    record,
+                    request.problem,
+                    solution,
+                    SOURCE_SOLVE,
+                    request.trigger,
+                    now_s,
+                )
+            )
+        return served
+
+    # ------------------------------------------------------------------ #
+    # Failure and rebalance
+    # ------------------------------------------------------------------ #
+
+    def kill_shard(self, name: str, now_s: float) -> List[ServedSolution]:
+        """Take one shard down and re-home its meetings (Sec. 7 handover).
+
+        Every affected meeting immediately degrades to the single-stream
+        fallback built from its last snapshot (the service continues), is
+        re-homed onto its new ring shard, and gets a ``rehome``-trigger
+        solve request there — the next :meth:`tick` re-converges it to a
+        full KMR solution.
+
+        Returns the fallback configurations served during handover.
+
+        Raises:
+            ValueError: for an unknown or already-dead shard.
+            RuntimeError: when no other live shard remains to absorb the
+                meetings — the caller is taking the whole service down.
+        """
+        worker = self._shards.get(name)
+        if worker is None or not worker.alive:
+            raise ValueError(f"no live shard {name!r}")
+        if len(self.live_shards) <= 1:
+            raise RuntimeError("cannot kill the last live shard")
+        worker.alive = False
+        self._ring.remove_node(name)
+        self.shard_failovers += 1
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(obs_names.CLUSTER_SHARD_FAILOVERS).inc()
+
+        served: List[ServedSolution] = []
+        rehomed = 0
+        for meeting_id in self.meetings:
+            record = self._meetings[meeting_id]
+            if record.shard != name:
+                continue
+            handover = worker.scheduler.forget(meeting_id)
+            problem = handover or record.last_problem
+            new_shard = self._ring.node_for(meeting_id)
+            record.shard = new_shard
+            record.rehomes += 1
+            rehomed += 1
+            if problem is None:
+                continue  # registered but never solved: nothing to degrade
+            solution = self._fallback(record, problem)
+            served.append(
+                self._serve(
+                    record,
+                    problem,
+                    solution,
+                    SOURCE_FALLBACK,
+                    TRIGGER_REHOME,
+                    now_s,
+                )
+            )
+            # The fallback reset the new shard's min-interval clock; the
+            # rehome request re-converges the meeting on a later tick.
+            self._shards[new_shard].scheduler.submit(
+                meeting_id, problem, now_s, trigger=TRIGGER_REHOME
+            )
+        if reg.enabled and rehomed:
+            reg.counter(obs_names.CLUSTER_REHOMED).inc(rehomed)
+        self._refresh_meeting_gauges()
+        return served
+
+    def add_shard(self, name: Optional[str] = None, now_s: float = 0.0) -> str:
+        """Grow the ring by one shard, re-homing the meetings it captures."""
+        if name is None:
+            k = len(self._shards)
+            while f"shard-{k}" in self._shards:
+                k += 1
+            name = f"shard-{k}"
+        if name in self._shards and self._shards[name].alive:
+            raise ValueError(f"shard {name!r} already live")
+        self._ring.add_node(name)
+        self._shards[name] = ShardWorker(name, self.config)
+        rehomed = 0
+        for meeting_id in self.meetings:
+            record = self._meetings[meeting_id]
+            new_shard = self._ring.node_for(meeting_id)
+            if new_shard == record.shard:
+                continue
+            old = self._shards.get(record.shard)
+            problem = old.scheduler.forget(meeting_id) if old else None
+            problem = problem or record.last_problem
+            record.shard = new_shard
+            record.rehomes += 1
+            rehomed += 1
+            if problem is not None:
+                self._shards[new_shard].scheduler.submit(
+                    meeting_id, problem, now_s, trigger=TRIGGER_REHOME
+                )
+        reg = get_registry()
+        if reg.enabled and rehomed:
+            reg.counter(obs_names.CLUSTER_REHOMED).inc(rehomed)
+        self._refresh_meeting_gauges()
+        return name
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, object]:
+        """A JSON-friendly snapshot of the cluster's counters."""
+        shards = {}
+        for name in sorted(self._shards):
+            worker = self._shards[name]
+            shards[name] = {
+                "alive": worker.alive,
+                "meetings": sum(
+                    1 for r in self._meetings.values() if r.shard == name
+                ),
+                "solves": worker.solves,
+                "fallbacks": worker.fallbacks,
+                "queue_depth": worker.scheduler.queue_depth,
+                "submitted": worker.scheduler.stats.submitted,
+                "coalesced": worker.scheduler.stats.coalesced,
+                "time_triggered": worker.scheduler.stats.time_triggered,
+                "shed": worker.admission.stats.shed,
+            }
+        cache = None
+        if self.cache is not None:
+            cache = {
+                "entries": len(self.cache),
+                "capacity": self.cache.capacity,
+                "hits": self.cache.stats.hits,
+                "misses": self.cache.stats.misses,
+                "evictions": self.cache.stats.evictions,
+                "hit_rate": self.cache.stats.hit_rate,
+            }
+        return {
+            "meetings": len(self._meetings),
+            "live_shards": self.live_shards,
+            "shard_failovers": self.shard_failovers,
+            "pool_workers": self.pool.workers,
+            "shards": shards,
+            "cache": cache,
+        }
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+        self.pool.close()
+
+    def __enter__(self) -> "ControllerCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,120 @@
+"""Solve worker pool: cache-miss solves, optionally on separate processes.
+
+The KMR solver is CPU-bound pure Python/numpy, so threads cannot scale it;
+a ``multiprocessing`` pool can.  The pool is strictly optional:
+
+* ``workers == 0`` (the default) solves in-process, serially — the
+  deterministic reference path every test compares against;
+* ``workers > 0`` tries to start a process pool; any failure (restricted
+  sandboxes, missing semaphores) silently degrades to the serial path, so
+  the cluster never depends on the host allowing subprocesses.
+
+Determinism: ``Pool.map`` preserves input order and each task is solved by
+a stateless :class:`~repro.core.solver.GsoSolver`, so the process pool
+returns exactly the serial path's solutions, independent of worker count
+or scheduling.  (Worker processes run with the default ``NullRegistry`` —
+per-solve metrics of pooled solves are recorded by the caller, not the
+workers.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from ..core.constraints import Problem
+from ..core.solution import Solution
+from ..core.solver import GsoSolver, SolverConfig
+from ..core.types import ClientId, Resolution
+
+#: Per-worker-process solver, installed by the pool initializer.
+_WORKER_SOLVER: Optional[GsoSolver] = None
+
+
+def _init_worker(config: SolverConfig) -> None:
+    """Pool initializer: build this worker's solver once."""
+    global _WORKER_SOLVER
+    _WORKER_SOLVER = GsoSolver(config)
+
+
+def _solve_task(problem: Problem) -> Solution:
+    """One pooled solve (runs in a worker process)."""
+    assert _WORKER_SOLVER is not None, "pool worker used before initialization"
+    return _WORKER_SOLVER.solve(problem)
+
+
+class SolvePool:
+    """Executes solver calls, in-process or on a process pool.
+
+    Args:
+        solver_config: solver tuning shared by every worker.
+        workers: process count; 0 means serial in-process solving.
+        mp_context: optional ``multiprocessing`` start method ("fork",
+            "spawn", ...); ``None`` uses the platform default.
+    """
+
+    def __init__(
+        self,
+        solver_config: Optional[SolverConfig] = None,
+        workers: int = 0,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.config = solver_config or SolverConfig()
+        self._solver = GsoSolver(self.config)
+        self._pool = None
+        self.workers = 0
+        if workers > 0:
+            try:
+                import multiprocessing
+
+                ctx = (
+                    multiprocessing.get_context(mp_context)
+                    if mp_context
+                    else multiprocessing.get_context()
+                )
+                self._pool = ctx.Pool(
+                    workers, initializer=_init_worker, initargs=(self.config,)
+                )
+                self.workers = workers
+            except Exception:
+                self._pool = None  # degraded but deterministic
+
+    @property
+    def is_parallel(self) -> bool:
+        """True when a live process pool backs :meth:`solve_many`."""
+        return self._pool is not None
+
+    def solve(
+        self,
+        problem: Problem,
+        incumbent: Optional[Mapping[Tuple[ClientId, ClientId], Resolution]] = None,
+    ) -> Solution:
+        """Solve one problem in-process (supports incumbent stickiness)."""
+        return self._solver.solve(problem, incumbent=incumbent)
+
+    def solve_many(self, problems: Sequence[Problem]) -> List[Solution]:
+        """Solve a batch, preserving input order.
+
+        Uses the process pool when available, the in-process solver
+        otherwise; both paths return identical solutions.
+        """
+        if not problems:
+            return []
+        if self._pool is None:
+            return [self._solver.solve(p) for p in problems]
+        return self._pool.map(_solve_task, list(problems))
+
+    def close(self) -> None:
+        """Shut the process pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self.workers = 0
+
+    def __enter__(self) -> "SolvePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

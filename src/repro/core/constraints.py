@@ -30,6 +30,7 @@ the brute-force oracle.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -281,6 +282,78 @@ class Problem:
     def uplink_budget(self, client: ClientId) -> int:
         """Video uplink budget of a physical client (after audio protection)."""
         return self.bandwidth[client].effective_uplink_kbps
+
+    # ------------------------------------------------------------------ #
+    # Canonical identity
+    # ------------------------------------------------------------------ #
+
+    #: Schema tag of :meth:`fingerprint`; bump on any encoding change.
+    FINGERPRINT_SCHEMA = "repro.problem_fp/v1"
+
+    def fingerprint(self, granularity_kbps: int = 1) -> str:
+        """A canonical, order-independent identity for solver caching.
+
+        Two problems with the same fingerprint are *solver-equivalent*: the
+        KMR loop (at the given knapsack granularity) produces the identical
+        :class:`~repro.core.solution.Solution` for both.  The encoding is
+        independent of the construction order of the stream sets, bandwidth
+        map, subscription list, alias map and owner map — fleet workloads
+        rebuild structurally identical meetings in arbitrary orders, and
+        they must all collide onto one cache entry.
+
+        Budget bucketing is deliberately asymmetric:
+
+        * **downlink** budgets are bucketed to ``granularity_kbps``.  Step
+          1's DP only ever sees ``capacity // granularity`` slots (weights
+          are rounded *up* onto the grid, so the exact-capacity check can
+          never bind) — any two downlinks in the same bucket are provably
+          indistinguishable to the solver.
+        * **uplink** budgets stay exact.  Step 3's accept test (Eq. 14) and
+          fixability test (Eq. 17) compare raw kbps sums against the raw
+          budget, so near-miss uplinks in the same coarse bucket can yield
+          different reductions and must *not* collide.
+
+        Budgets enter the key *after* audio protection (the solver only
+        reads the effective values).  Client ids are part of the identity —
+        solutions name clients, so renamed-but-isomorphic problems are not
+        equivalent.
+
+        Args:
+            granularity_kbps: the knapsack grid step of the solver this key
+                is computed for (``SolverConfig.granularity_kbps``).
+
+        Returns:
+            ``"<schema>:<sha256 hexdigest>"``.
+        """
+        if granularity_kbps < 1:
+            raise ValueError("granularity_kbps must be >= 1")
+        parts: List[str] = [self.FINGERPRINT_SCHEMA, f"g={granularity_kbps}"]
+        for pub in sorted(self.feasible_streams):
+            ladder = ";".join(
+                f"{s.bitrate_kbps},{s.resolution.value},{s.qoe!r}"
+                for s in sorted(
+                    self.feasible_streams[pub],
+                    key=lambda s: (s.bitrate_kbps, s.resolution),
+                )
+            )
+            parts.append(f"S[{pub}]={ladder}")
+        for client in sorted(self.bandwidth):
+            bw = self.bandwidth[client]
+            parts.append(
+                f"B[{client}]={bw.effective_uplink_kbps},"
+                f"{bw.effective_downlink_kbps // granularity_kbps}"
+            )
+        for sub, pub, cap in sorted(
+            (e.subscriber, e.publisher, e.max_resolution.value)
+            for e in self.subscriptions
+        ):
+            parts.append(f"E[{sub}<-{pub}]={cap}")
+        for virtual in sorted(self.aliases):
+            parts.append(f"A[{virtual}]={self.aliases[virtual]}")
+        for entity in sorted(self._owners):
+            parts.append(f"O[{entity}]={self._owners[entity]}")
+        digest = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+        return f"{self.FINGERPRINT_SCHEMA}:{digest}"
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

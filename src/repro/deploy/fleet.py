@@ -26,7 +26,10 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # deploy -> cluster is a soft, runtime-optional edge
+    from ..cluster import ControllerCluster
 
 from ..client.policies import LocalDownlinkSwitcher, TemplateUplinkPolicy
 from ..core.constraints import Bandwidth, Problem, Subscription
@@ -124,21 +127,32 @@ class FleetSampler:
         self._mean_size = mean_size
         self._max_size = max_size
 
-    def sample_conference(self, day_quality: float = 1.0) -> SampledConference:
+    def sample_conference(
+        self,
+        day_quality: float = 1.0,
+        rng: Optional[random.Random] = None,
+    ) -> SampledConference:
         """Draw one conference.
 
         Args:
             day_quality: multiplicative network-quality factor for the day
                 (models weekday load, seasonal effects; 1.0 = baseline).
+            rng: per-conference randomness source overriding the sampler's
+                own stream.  Passing one seeded ``random.Random`` per
+                conference makes each draw independent of every other —
+                the property cluster-parallel fleet runs rely on (the same
+                conference id samples the same conference no matter which
+                shard draws it, or in what order).
         """
-        extra = self._rng.expovariate(1.0 / (self._mean_size - 2))
+        rng = rng if rng is not None else self._rng
+        extra = rng.expovariate(1.0 / (self._mean_size - 2))
         size = min(self._max_size, 2 + int(extra))
         clients = []
         for k in range(size):
-            profile = self._rng.choices(self._profiles, self._weights)[0]
-            up = self._rng.uniform(*profile.uplink_kbps) * day_quality
-            down = self._rng.uniform(*profile.downlink_kbps) * day_quality
-            loss = self._rng.uniform(*profile.loss_rate)
+            profile = rng.choices(self._profiles, self._weights)[0]
+            up = rng.uniform(*profile.uplink_kbps) * day_quality
+            down = rng.uniform(*profile.downlink_kbps) * day_quality
+            loss = rng.uniform(*profile.loss_rate)
             clients.append(
                 SampledClient(
                     client_id=f"c{k}",
@@ -179,22 +193,52 @@ def score_subscriber(
 
 
 class ConferenceScorer:
-    """Scores one sampled conference under GSO or non-GSO orchestration."""
+    """Scores one sampled conference under GSO or non-GSO orchestration.
 
-    def __init__(self, levels_per_resolution: int = 5) -> None:
+    Args:
+        levels_per_resolution: GSO ladder depth.
+        cluster: optional :class:`~repro.cluster.ControllerCluster`; when
+            set, GSO solves route through the cluster's solve service
+            (sharding + fingerprint cache + pool) instead of a private
+            solver.  The cluster must be configured with the same solver
+            granularity (25 kbps) for solutions to match the direct path.
+    """
+
+    def __init__(
+        self,
+        levels_per_resolution: int = 5,
+        cluster: Optional["ControllerCluster"] = None,
+    ) -> None:
         self._gso_ladder = make_ladder(levels_per_resolution=levels_per_resolution)
         self._solver = GsoSolver(SolverConfig(granularity_kbps=25))
         self._template = TemplateUplinkPolicy()
         self._switcher = LocalDownlinkSwitcher()
+        self._cluster = cluster
+        self._conference_seq = 0
 
     # ------------------------------------------------------------------ #
     # GSO path: the real solver decides who gets what
     # ------------------------------------------------------------------ #
 
-    def score_gso(self, conf: SampledConference) -> ConferenceMetrics:
-        """Score the conference under GSO orchestration (real solver)."""
+    def score_gso(
+        self, conf: SampledConference, conference_id: Optional[str] = None
+    ) -> ConferenceMetrics:
+        """Score the conference under GSO orchestration (real solver).
+
+        Args:
+            conf: the sampled conference.
+            conference_id: stable meeting id for cluster routing (shard
+                placement and cache accounting); auto-generated when
+                omitted.
+        """
         problem = self._gso_problem(conf)
-        solution = self._solver.solve(problem)
+        if self._cluster is not None:
+            if conference_id is None:
+                conference_id = f"fleet-conf-{self._conference_seq}"
+                self._conference_seq += 1
+            solution = self._cluster.solve_conference(conference_id, problem)
+        else:
+            solution = self._solver.solve(problem)
         loads: Dict[ClientId, float] = {c.client_id: 0.0 for c in conf.clients}
         coverage: Dict[ClientId, float] = {}
         for c in conf.clients:

@@ -14,9 +14,12 @@ import datetime as dt
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from .fleet import ConferenceMetrics, ConferenceScorer, FleetSampler
+
+if TYPE_CHECKING:  # deploy -> cluster is a soft, runtime-optional edge
+    from ..cluster import ControllerCluster
 
 #: The paper's dates.
 OBSERVATION_START = dt.date(2021, 10, 1)
@@ -82,11 +85,15 @@ class DeploymentSimulation:
     """Day-by-day fleet simulation of the rollout window.
 
     Args:
-        seed: master seed (per-day seeds derive deterministically).
+        seed: master seed (per-day and per-conference RNGs derive
+            deterministically from it by name, never from shared state).
         conferences_per_day: sampled meetings per day (the paper samples
             1M/day; a few hundred give stable daily means here).
         schedule: the coverage ramp.
         levels_per_resolution: GSO ladder depth.
+        cluster: optional :class:`~repro.cluster.ControllerCluster` to run
+            every GSO solve through (sharded solve service with the
+            fingerprint cache); ``None`` solves in-process.
     """
 
     def __init__(
@@ -95,6 +102,7 @@ class DeploymentSimulation:
         conferences_per_day: int = 300,
         schedule: Optional[RolloutSchedule] = None,
         levels_per_resolution: int = 5,
+        cluster: Optional["ControllerCluster"] = None,
     ) -> None:
         if conferences_per_day < 1:
             raise ValueError("need at least one conference per day")
@@ -102,8 +110,19 @@ class DeploymentSimulation:
         self._per_day = conferences_per_day
         self.schedule = schedule or RolloutSchedule()
         self._scorer = ConferenceScorer(
-            levels_per_resolution=levels_per_resolution
+            levels_per_resolution=levels_per_resolution, cluster=cluster
         )
+
+    def _conference_rng(self, day: dt.date, index: int) -> random.Random:
+        """Derive one conference's private RNG.
+
+        Seeded by name — ``(master seed, day, index)`` — so every
+        conference's draw is independent of every other: re-ordering,
+        skipping, or sharding the day's conferences across cluster workers
+        reproduces byte-identical samples.  (String seeding is stable
+        across processes, unlike ``hash()``-derived seeds.)
+        """
+        return random.Random(f"fleet:{self._seed}:{day.toordinal()}:{index}")
 
     def run(
         self,
@@ -119,18 +138,27 @@ class DeploymentSimulation:
         return points
 
     def run_day(self, day: dt.date) -> DailyPoint:
-        """Sample and score one day's conferences."""
-        rng = random.Random((self._seed, day.toordinal()).__hash__())
-        sampler = FleetSampler(rng)
+        """Sample and score one day's conferences.
+
+        Day-level effects (quality factor) use a per-day RNG; each
+        conference then samples and rolls its GSO assignment from its own
+        :meth:`_conference_rng`, so per-conference results do not depend
+        on evaluation order.
+        """
+        day_rng = random.Random(f"fleet:{self._seed}:day:{day.toordinal()}")
+        sampler = FleetSampler(day_rng)
         coverage = self.schedule.coverage(day)
-        quality = day_quality(day, rng)
+        quality = day_quality(day, day_rng)
         stalls: List[float] = []
         voices: List[float] = []
         fpss: List[float] = []
-        for _ in range(self._per_day):
-            conf = sampler.sample_conference(day_quality=quality)
-            if rng.random() < coverage:
-                metrics = self._scorer.score_gso(conf)
+        for i in range(self._per_day):
+            conf_rng = self._conference_rng(day, i)
+            conf = sampler.sample_conference(day_quality=quality, rng=conf_rng)
+            if conf_rng.random() < coverage:
+                metrics = self._scorer.score_gso(
+                    conf, conference_id=f"{day.isoformat()}:{i}"
+                )
             else:
                 metrics = self._scorer.score_nongso(conf)
             stalls.append(metrics.video_stall)

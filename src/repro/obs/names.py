@@ -123,6 +123,43 @@ FLEET_SATISFACTION = "repro_fleet_satisfaction_ratio"
 FLEET_LAST_SATISFACTION = "repro_fleet_last_satisfaction_ratio"
 
 # --------------------------------------------------------------------- #
+# Controller cluster (repro.cluster)
+# --------------------------------------------------------------------- #
+
+#: Counter, label ``trigger`` in {"event", "time", "rehome", "sync"} —
+#: solve requests entering the shard schedulers / solve service.
+CLUSTER_SOLVE_REQUESTS = "repro_cluster_solve_requests_total"
+#: Counter — event submissions folded into an already-pending request
+#: (one queued solve per meeting, newest snapshot wins).
+CLUSTER_COALESCED = "repro_cluster_coalesced_total"
+#: Counter, label ``result`` in {"hit", "miss"} — fingerprint-cache lookups.
+CLUSTER_CACHE = "repro_cluster_cache_total"
+#: Counter — LRU evictions from the solution cache.
+CLUSTER_CACHE_EVICTIONS = "repro_cluster_cache_evictions_total"
+#: Gauge — solutions currently retained by the cache.
+CLUSTER_CACHE_ENTRIES = "repro_cluster_cache_entries"
+#: Counter — solve requests shed by admission control (served fallback).
+CLUSTER_SHED = "repro_cluster_shed_total"
+#: Histogram, label ``shard`` — due-queue depth per shard per round.
+CLUSTER_QUEUE_DEPTH = "repro_cluster_queue_depth"
+#: Gauge, label ``shard`` — meetings currently homed on each shard.
+CLUSTER_MEETINGS = "repro_cluster_meetings"
+#: Counter — meetings re-homed by shard death or ring growth.
+CLUSTER_REHOMED = "repro_cluster_rehomed_meetings_total"
+#: Counter — shard-death failovers executed.
+CLUSTER_SHARD_FAILOVERS = "repro_cluster_shard_failovers_total"
+#: Counter — Sec. 7 single-stream fallbacks served by the cluster
+#: (shed requests, dead-shard handover, solver failures).
+CLUSTER_FALLBACKS = "repro_cluster_fallbacks_total"
+#: Histogram — wall-clock seconds per solve-service request (cache hits
+#: and misses alike).
+CLUSTER_SOLVE_SECONDS = "repro_cluster_solve_seconds"
+
+#: Cluster span names.
+SPAN_CLUSTER_TICK = "cluster.tick"
+SPAN_CLUSTER_SOLVE = "cluster.solve"
+
+# --------------------------------------------------------------------- #
 # Benchmarks (benchmarks/_harness.py)
 # --------------------------------------------------------------------- #
 
@@ -159,6 +196,18 @@ ALL_METRICS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     FLEET_CONFERENCES: ("counter", ("scheme",)),
     FLEET_SATISFACTION: ("histogram", ("scheme",)),
     FLEET_LAST_SATISFACTION: ("gauge", ("scheme",)),
+    CLUSTER_SOLVE_REQUESTS: ("counter", ("trigger",)),
+    CLUSTER_COALESCED: ("counter", ()),
+    CLUSTER_CACHE: ("counter", ("result",)),
+    CLUSTER_CACHE_EVICTIONS: ("counter", ()),
+    CLUSTER_CACHE_ENTRIES: ("gauge", ()),
+    CLUSTER_SHED: ("counter", ()),
+    CLUSTER_QUEUE_DEPTH: ("histogram", ("shard",)),
+    CLUSTER_MEETINGS: ("gauge", ("shard",)),
+    CLUSTER_REHOMED: ("counter", ()),
+    CLUSTER_SHARD_FAILOVERS: ("counter", ()),
+    CLUSTER_FALLBACKS: ("counter", ()),
+    CLUSTER_SOLVE_SECONDS: ("histogram", ()),
     BENCHMARK_SECONDS: ("histogram", ("benchmark",)),
 }
 
@@ -169,4 +218,6 @@ ALL_SPANS: Tuple[str, ...] = (
     SPAN_KMR_MERGE,
     SPAN_KMR_REDUCTION,
     SPAN_CONTROLLER_TICK,
+    SPAN_CLUSTER_TICK,
+    SPAN_CLUSTER_SOLVE,
 )

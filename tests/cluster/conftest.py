@@ -1,0 +1,35 @@
+"""Shared helpers for the controller-cluster tests."""
+
+import pytest
+
+from repro.core.constraints import Bandwidth, Problem, Subscription
+from repro.core.ladder import paper_ladder
+from repro.core.types import Resolution
+
+
+def mesh_problem(
+    ups=(5000, 5000, 500),
+    downs=(3000, 3000, 3000),
+    protection=0,
+):
+    """A full-mesh meeting with one client per (up, down) pair."""
+    ids = [f"c{k}" for k in range(len(ups))]
+    ladder = paper_ladder()
+    return Problem(
+        feasible_streams={cid: ladder for cid in ids},
+        bandwidth={
+            cid: Bandwidth(up, down, audio_protection_kbps=protection)
+            for cid, up, down in zip(ids, ups, downs)
+        },
+        subscriptions=[
+            Subscription(a, b, Resolution.P720)
+            for a in ids
+            for b in ids
+            if a != b
+        ],
+    )
+
+
+@pytest.fixture
+def problem():
+    return mesh_problem()

@@ -1,0 +1,107 @@
+"""Consistent-hash ring: stable placement, minimal movement."""
+
+import pytest
+
+from repro.cluster import ConsistentHashRing, moved_keys, stable_hash
+
+KEYS = [f"meeting-{i}" for i in range(500)]
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("meeting-1") == stable_hash("meeting-1")
+
+    def test_64_bit_range(self):
+        for key in ("", "a", "meeting-42"):
+            assert 0 <= stable_hash(key) < 2**64
+
+    def test_distinct_keys_distinct_hashes(self):
+        hashes = {stable_hash(k) for k in KEYS}
+        assert len(hashes) == len(KEYS)
+
+    def test_known_value(self):
+        # Pinned: placement must never silently change across releases —
+        # a drifting hash re-homes every meeting in the fleet.
+        assert stable_hash("shard-0#0") == int.from_bytes(
+            __import__("hashlib").sha1(b"shard-0#0").digest()[:8], "big"
+        )
+
+
+class TestRing:
+    def test_lookup_is_deterministic(self):
+        a = ConsistentHashRing(["s0", "s1", "s2"])
+        b = ConsistentHashRing(["s2", "s0", "s1"])  # insertion order differs
+        for key in KEYS:
+            assert a.node_for(key) == b.node_for(key)
+
+    def test_all_nodes_get_keys(self):
+        ring = ConsistentHashRing(["s0", "s1", "s2", "s3"])
+        placed = ring.assignment(KEYS)
+        assert sorted(placed) == ["s0", "s1", "s2", "s3"]
+        assert all(placed[n] for n in placed)
+        assert sum(len(v) for v in placed.values()) == len(KEYS)
+
+    def test_load_roughly_balanced(self):
+        ring = ConsistentHashRing(["s0", "s1", "s2", "s3"], vnodes=64)
+        placed = ring.assignment(KEYS)
+        fair = len(KEYS) / 4
+        for node, keys in placed.items():
+            assert 0.4 * fair < len(keys) < 2.0 * fair, node
+
+    def test_remove_moves_only_victims_keys(self):
+        before = ConsistentHashRing(["s0", "s1", "s2", "s3"])
+        after = ConsistentHashRing(["s0", "s1", "s2", "s3"])
+        after.remove_node("s2")
+        moves = moved_keys(before, after, KEYS)
+        assert moves  # s2 owned something
+        assert all(old == "s2" for (_, old, _new) in moves)
+        assert all(new != "s2" for (_, _old, new) in moves)
+        owned_by_victim = before.assignment(KEYS)["s2"]
+        assert sorted(k for (k, _, _) in moves) == owned_by_victim
+
+    def test_add_moves_only_captured_keys(self):
+        before = ConsistentHashRing(["s0", "s1"])
+        after = ConsistentHashRing(["s0", "s1"])
+        after.add_node("s2")
+        moves = moved_keys(before, after, KEYS)
+        assert moves
+        assert all(new == "s2" for (_, _old, new) in moves)
+
+    def test_survivors_keep_their_keys(self):
+        ring = ConsistentHashRing(["s0", "s1", "s2"])
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.remove_node("s1")
+        for key in KEYS:
+            if before[key] != "s1":
+                assert ring.node_for(key) == before[key]
+
+    def test_membership_protocol(self):
+        ring = ConsistentHashRing(["s0"])
+        assert "s0" in ring and "s1" not in ring
+        assert len(ring) == 1
+        ring.add_node("s1")
+        assert ring.nodes == ["s0", "s1"]
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            ConsistentHashRing().node_for("meeting-1")
+
+    def test_duplicate_add_rejected(self):
+        ring = ConsistentHashRing(["s0"])
+        with pytest.raises(ValueError):
+            ring.add_node("s0")
+
+    def test_unknown_remove_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(["s0"]).remove_node("s9")
+
+    def test_bad_vnodes_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(vnodes=0)
+
+    def test_remove_then_readd_restores_placement(self):
+        ring = ConsistentHashRing(["s0", "s1", "s2"])
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.remove_node("s1")
+        ring.add_node("s1")
+        assert {k: ring.node_for(k) for k in KEYS} == before

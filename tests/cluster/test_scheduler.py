@@ -1,0 +1,130 @@
+"""Solve scheduler: coalescing, debounce floor, time-trigger ceiling."""
+
+import pytest
+
+from repro.cluster import SolveScheduler
+from repro.cluster.scheduler import TRIGGER_EVENT, TRIGGER_TIME
+
+from .conftest import mesh_problem
+
+
+class TestSubmit:
+    def test_first_request_due_immediately(self):
+        sched = SolveScheduler()
+        request = sched.submit("m1", mesh_problem(), now_s=5.0)
+        assert request.due_at_s == 5.0
+        assert sched.due(5.0) == [request]
+
+    def test_debounce_floor_after_a_solve(self):
+        sched = SolveScheduler(min_interval_s=1.0)
+        problem = mesh_problem()
+        sched.mark_solved("m1", problem, now_s=10.0)
+        request = sched.submit("m1", problem, now_s=10.2)
+        assert request.due_at_s == pytest.approx(11.0)
+        assert sched.due(10.5) == []
+        assert sched.due(11.0) == [request]
+
+    def test_submit_after_quiet_period_runs_at_once(self):
+        sched = SolveScheduler(min_interval_s=1.0)
+        problem = mesh_problem()
+        sched.mark_solved("m1", problem, now_s=10.0)
+        request = sched.submit("m1", problem, now_s=20.0)
+        assert request.due_at_s == 20.0
+
+    def test_coalescing_newest_snapshot_wins(self):
+        sched = SolveScheduler()
+        old = mesh_problem(ups=(5000, 5000, 500))
+        new = mesh_problem(ups=(5000, 5000, 900))
+        first = sched.submit("m1", old, now_s=0.0)
+        second = sched.submit("m1", new, now_s=0.3)
+        assert second is first  # one pending slot per meeting
+        assert sched.queue_depth == 1
+        assert first.problem is new
+        assert first.coalesced == 1
+        assert sched.stats.coalesced == 1
+
+    def test_coalescing_keeps_queue_position(self):
+        sched = SolveScheduler(min_interval_s=1.0)
+        problem = mesh_problem()
+        sched.mark_solved("m1", problem, now_s=0.0)
+        sched.submit("m1", problem, now_s=0.1)  # due at 1.0
+        sched.submit("m1", problem, now_s=0.9)
+        [request] = sched.due(1.0)
+        assert request.due_at_s == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SolveScheduler(min_interval_s=0.0)
+        with pytest.raises(ValueError):
+            SolveScheduler(min_interval_s=3.0, max_interval_s=1.0)
+
+
+class TestDue:
+    def test_time_trigger_after_max_interval(self):
+        sched = SolveScheduler(min_interval_s=1.0, max_interval_s=3.0)
+        problem = mesh_problem()
+        sched.mark_solved("m1", problem, now_s=0.0)
+        assert sched.due(2.0) == []
+        [request] = sched.due(3.0)
+        assert request.trigger == TRIGGER_TIME
+        assert request.problem is problem
+        assert sched.stats.time_triggered == 1
+
+    def test_no_time_trigger_while_pending(self):
+        sched = SolveScheduler(min_interval_s=1.0, max_interval_s=3.0)
+        problem = mesh_problem()
+        sched.mark_solved("m1", problem, now_s=0.0)
+        sched.submit("m1", problem, now_s=0.5)  # due at 1.0
+        ready = sched.due(4.0)
+        assert len(ready) == 1  # the event request, not a duplicate refresh
+        assert ready[0].trigger == TRIGGER_EVENT
+
+    def test_due_popped_once(self):
+        sched = SolveScheduler()
+        sched.submit("m1", mesh_problem(), now_s=0.0)
+        assert len(sched.due(0.0)) == 1
+        assert sched.due(0.0) == []
+
+    def test_ordering_by_due_then_meeting(self):
+        sched = SolveScheduler(min_interval_s=1.0)
+        problem = mesh_problem()
+        sched.mark_solved("m-b", problem, now_s=0.5)  # due at 1.5
+        sched.submit("m-b", problem, now_s=0.6)
+        sched.submit("m-c", problem, now_s=0.7)  # never solved: due at 0.7
+        sched.submit("m-a", problem, now_s=0.7)
+        ready = sched.due(2.0)
+        assert [r.meeting_id for r in ready] == ["m-a", "m-c", "m-b"]
+
+
+class TestHandover:
+    def test_requeue_restores_pending(self):
+        sched = SolveScheduler()
+        sched.submit("m1", mesh_problem(), now_s=0.0)
+        [request] = sched.due(0.0)
+        sched.requeue(request)
+        assert sched.due(0.0) == [request]
+
+    def test_forget_returns_freshest_snapshot(self):
+        sched = SolveScheduler()
+        old = mesh_problem(ups=(5000, 5000, 500))
+        new = mesh_problem(ups=(5000, 5000, 900))
+        sched.mark_solved("m1", old, now_s=0.0)
+        sched.submit("m1", new, now_s=0.5)
+        assert sched.forget("m1") is new
+        assert sched.queue_depth == 0
+        assert sched.meetings == []
+
+    def test_forget_falls_back_to_last_solved(self):
+        sched = SolveScheduler()
+        problem = mesh_problem()
+        sched.mark_solved("m1", problem, now_s=0.0)
+        assert sched.forget("m1") is problem
+
+    def test_forget_unknown_meeting_is_none(self):
+        assert SolveScheduler().forget("ghost") is None
+
+    def test_forgotten_meeting_stops_time_triggering(self):
+        sched = SolveScheduler(max_interval_s=3.0)
+        sched.mark_solved("m1", mesh_problem(), now_s=0.0)
+        sched.forget("m1")
+        assert sched.due(10.0) == []
