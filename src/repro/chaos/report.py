@@ -1,0 +1,148 @@
+"""Canonical run reports: the byte-identical evidence of a chaos run.
+
+Determinism is an invariant, so the report format must itself be
+deterministic: canonical JSON (sorted keys, fixed separators), simulated
+time only (never wall clock), and content-addressed solution digests.
+Two runs of the same scenario and seed must produce the same
+:meth:`RunReport.digest` — the soak runner enforces it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from ..core.solution import Solution
+
+#: Report schema tag; bump on any encoding change.
+REPORT_SCHEMA = "repro.chaos_report/v1"
+
+
+def solution_digest(solution: Solution) -> str:
+    """A short content digest of one delivered configuration.
+
+    Canonical over both views (policies and assignments), independent of
+    dict construction order.
+    """
+    parts: List[str] = []
+    for pub in sorted(solution.policies):
+        for res in sorted(solution.policies[pub]):
+            entry = solution.policies[pub][res]
+            parts.append(
+                f"P[{pub}@{res.value}]={entry.bitrate_kbps}->"
+                f"{','.join(sorted(entry.audience))}"
+            )
+    for sub in sorted(solution.assignments):
+        for pub in sorted(solution.assignments[sub]):
+            stream = solution.assignments[sub][pub]
+            parts.append(
+                f"A[{sub}<-{pub}]={stream.bitrate_kbps}@"
+                f"{stream.resolution.value}"
+            )
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class RunReport:
+    """Everything one chaos run observed, in canonical form.
+
+    Attributes:
+        scenario: scenario name driving the run.
+        seed: world + schedule seed.
+        duration_s: simulated run length.
+        config: the runner's sizing knobs (for reproduction).
+        faults: fault-application events, in order — each carries the
+            fault dict plus an ``applied``/``skipped`` outcome.
+        serves: every configuration delivery, in order: time, meeting,
+            source, trigger, solution digest.
+        checks: invariant evaluation counts.
+        violations: failed invariant evaluations (empty on a healthy run).
+        meetings: per-meeting closing summary.
+    """
+
+    scenario: str
+    seed: int
+    duration_s: float
+    config: Dict[str, Union[int, float, str]] = field(default_factory=dict)
+    faults: List[dict] = field(default_factory=list)
+    serves: List[dict] = field(default_factory=list)
+    checks: Dict[str, int] = field(default_factory=dict)
+    violations: List[dict] = field(default_factory=list)
+    meetings: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant was violated."""
+        return not self.violations
+
+    @property
+    def served_by_source(self) -> Dict[str, int]:
+        """Delivery counts per source (solve / cache / fallback / shed)."""
+        out: Dict[str, int] = {}
+        for serve in self.serves:
+            out[serve["source"]] = out.get(serve["source"], 0) + 1
+        return dict(sorted(out.items()))
+
+    def to_dict(self) -> dict:
+        """The full canonical encoding."""
+        return {
+            "schema": REPORT_SCHEMA,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "config": dict(sorted(self.config.items())),
+            "faults": self.faults,
+            "serves": self.serves,
+            "served_by_source": self.served_by_source,
+            "checks": dict(sorted(self.checks.items())),
+            "violations": self.violations,
+            "meetings": {k: self.meetings[k] for k in sorted(self.meetings)},
+            "ok": self.ok,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, fixed separators, no whitespace
+        variance — the byte string the digest is computed over."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON encoding."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def summary(self) -> str:
+        """Human-readable one-screen summary."""
+        lines = [
+            f"chaos run: scenario={self.scenario} seed={self.seed} "
+            f"duration={self.duration_s:g}s -> "
+            f"{'OK' if self.ok else 'VIOLATIONS'}",
+            f"  faults injected: {len(self.faults)}",
+            f"  configurations served: {len(self.serves)} "
+            f"{self.served_by_source}",
+            f"  invariant checks: {dict(sorted(self.checks.items()))}",
+        ]
+        for violation in self.violations:
+            lines.append(
+                f"  VIOLATION [{violation['invariant']}] "
+                f"t={violation['at_s']:g} {violation['meeting_id']}: "
+                f"{violation['detail']}"
+            )
+        lines.append(f"  report digest: {self.digest()}")
+        return "\n".join(lines)
+
+
+def write_jsonl(
+    reports: Iterable[RunReport], path: Union[str, Path]
+) -> Path:
+    """Write one canonical JSON report per line; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        for report in reports:
+            handle.write(report.to_json())
+            handle.write("\n")
+    return target

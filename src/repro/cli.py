@@ -15,6 +15,11 @@ Four subcommands cover the library's main entry points:
   stats`` drives a synthetic event/tick workload through the shard
   schedulers (coalescing, admission, optional shard kill) and dumps the
   stats snapshot;
+* ``chaos`` — deterministic fault injection + invariant checking (see
+  ``docs/RESILIENCE.md``): ``chaos run`` replays one scenario at one
+  seed, ``chaos soak`` sweeps scenarios x seeds (running each twice and
+  demanding byte-identical reports) and exits non-zero on any invariant
+  violation, ``chaos scenarios`` lists the registry;
 * ``obs`` — the observability surface (see ``docs/OBSERVABILITY.md``):
   run a solve or an example with instrumentation enabled and dump the
   metrics snapshot + per-iteration KMR trace (``obs solve``,
@@ -261,6 +266,93 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
 
 
 # --------------------------------------------------------------------- #
+# Chaos commands
+# --------------------------------------------------------------------- #
+
+
+def _chaos_config(args: argparse.Namespace, seed: int) -> "object":
+    from .chaos import ChaosConfig
+
+    try:
+        return ChaosConfig(
+            seed=seed,
+            meetings=args.meetings,
+            duration_s=args.duration,
+            shards=args.shards,
+            tick_interval_s=args.tick_interval,
+            report_interval_s=args.report_interval,
+            mean_size=args.mean_size,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro chaos: {exc}")
+
+
+def _cmd_chaos_run(args: argparse.Namespace) -> int:
+    from .chaos import run_scenario
+
+    config = _chaos_config(args, args.seed)
+    try:
+        report = run_scenario(args.scenario, args.seed, config)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos_soak(args: argparse.Namespace) -> int:
+    from .chaos import soak
+
+    config = _chaos_config(args, args.base_seed)
+    try:
+        with obs.enabled_registry() as registry:
+            result = soak(
+                seeds=args.seeds,
+                scenarios=args.scenario or None,
+                config=config,
+                out=args.out,
+                base_seed=args.base_seed,
+            )
+            if args.metrics_out:
+                Path(args.metrics_out).write_text(
+                    registry.to_prometheus_text()
+                )
+    except (KeyError, ValueError) as exc:
+        print(
+            exc.args[0] if exc.args else str(exc), file=sys.stderr
+        )
+        return 2
+    print(result.summary())
+    if args.out:
+        print(f"wrote {result.runs} report(s) to {args.out}")
+    if args.metrics_out:
+        print(f"wrote metrics snapshot to {args.metrics_out}")
+    return 0 if result.ok else 1
+
+
+def _cmd_chaos_scenarios(args: argparse.Namespace) -> int:
+    from .chaos import list_scenarios
+
+    for scenario in list_scenarios():
+        print(f"{scenario.name:<20s} {scenario.description}")
+    return 0
+
+
+def _add_chaos_config_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--meetings", type=int, default=4)
+    parser.add_argument(
+        "--duration", type=float, default=10.0, help="simulated seconds"
+    )
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--tick-interval", type=float, default=1.0)
+    parser.add_argument("--report-interval", type=float, default=1.0)
+    parser.add_argument("--mean-size", type=float, default=4.0)
+
+
+# --------------------------------------------------------------------- #
 # Observability commands
 # --------------------------------------------------------------------- #
 
@@ -448,6 +540,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cluster_args(cluster_stats)
     cluster_stats.set_defaults(func=_cmd_cluster_stats)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault injection + invariant checking (docs/RESILIENCE.md)",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    chaos_run = chaos_sub.add_parser(
+        "run", help="run one scenario at one seed and print its report"
+    )
+    chaos_run.add_argument("--scenario", default="kitchen_sink")
+    chaos_run.add_argument("--seed", type=int, default=1)
+    chaos_run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full canonical JSON report instead of the summary",
+    )
+    _add_chaos_config_args(chaos_run)
+    chaos_run.set_defaults(func=_cmd_chaos_run)
+
+    chaos_soak = chaos_sub.add_parser(
+        "soak",
+        help="sweep scenarios x seeds (each run twice for determinism); "
+        "exit 1 on any invariant violation",
+    )
+    chaos_soak.add_argument("--seeds", type=int, default=20)
+    chaos_soak.add_argument("--base-seed", type=int, default=0)
+    chaos_soak.add_argument(
+        "--scenario",
+        action="append",
+        help="restrict to this scenario (repeatable; default: all)",
+    )
+    chaos_soak.add_argument("--out", help="write JSONL verdicts here")
+    chaos_soak.add_argument(
+        "--metrics-out", help="write the chaos metrics snapshot here"
+    )
+    _add_chaos_config_args(chaos_soak)
+    chaos_soak.set_defaults(func=_cmd_chaos_soak)
+
+    chaos_scenarios = chaos_sub.add_parser(
+        "scenarios", help="list the registered chaos scenarios"
+    )
+    chaos_scenarios.set_defaults(func=_cmd_chaos_scenarios)
 
     obs_parser = sub.add_parser(
         "obs",

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..control.failover import single_stream_fallback
 from ..core.constraints import Problem
@@ -169,6 +169,13 @@ class ControllerCluster:
         )
         self._meetings: Dict[str, MeetingRecord] = {}
         self.shard_failovers = 0
+        #: Fault-injection hook (repro.chaos): called with
+        #: ``(meeting_id, problem)`` before any solve attempt (including
+        #: cache lookups).  Raising degrades that meeting to the Sec. 7
+        #: single-stream fallback, exactly like a crashing solver.
+        self.solve_interceptor: Optional[
+            Callable[[str, Problem], None]
+        ] = None
 
     # ------------------------------------------------------------------ #
     # Placement
@@ -230,6 +237,36 @@ class ControllerCluster:
             meeting_id, problem, now_s, trigger=trigger
         )
         return shard
+
+    # ------------------------------------------------------------------ #
+    # Fault-injection hook points (repro.chaos)
+    # ------------------------------------------------------------------ #
+
+    def defer_meeting(self, meeting_id: str, delay_s: float) -> bool:
+        """Defer a meeting's pending solve request (delayed-report fault).
+
+        Returns True if a pending request existed and was deferred.
+        """
+        record = self._meetings.get(meeting_id)
+        if record is None:
+            return False
+        worker = self._shards.get(record.shard)
+        if worker is None:
+            return False
+        return worker.scheduler.defer(meeting_id, delay_s)
+
+    def drop_pending(self, meeting_id: str) -> bool:
+        """Drop a meeting's pending solve request (lost-report fault).
+
+        Returns True if a pending request existed and was dropped.
+        """
+        record = self._meetings.get(meeting_id)
+        if record is None:
+            return False
+        worker = self._shards.get(record.shard)
+        if worker is None:
+            return False
+        return worker.scheduler.drop_pending(meeting_id) is not None
 
     # ------------------------------------------------------------------ #
     # The solve service
@@ -322,6 +359,8 @@ class ControllerCluster:
                 obs_names.CLUSTER_SOLVE_REQUESTS, trigger=TRIGGER_SYNC
             ).inc()
         try:
+            if self.solve_interceptor is not None:
+                self.solve_interceptor(meeting_id, problem)
             solution, source = self._solve_service(problem)
         except Exception:
             solution = self._fallback(record, problem)
@@ -379,6 +418,22 @@ class ControllerCluster:
         misses: List[SolveRequest] = []
         for request in admitted:
             record = self._meetings[request.meeting_id]
+            if self.solve_interceptor is not None:
+                try:
+                    self.solve_interceptor(request.meeting_id, request.problem)
+                except Exception:
+                    solution = self._fallback(record, request.problem)
+                    served.append(
+                        self._serve(
+                            record,
+                            request.problem,
+                            solution,
+                            SOURCE_FALLBACK,
+                            request.trigger,
+                            now_s,
+                        )
+                    )
+                    continue
             if self.cache is not None:
                 start = time.perf_counter()
                 cached = self.cache.get(self._cache_key(request.problem))

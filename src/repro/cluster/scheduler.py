@@ -186,6 +186,38 @@ class SolveScheduler:
         else:
             existing.coalesced += request.coalesced
 
+    # ------------------------------------------------------------------ #
+    # Fault-injection hook points (repro.chaos)
+    # ------------------------------------------------------------------ #
+
+    def defer(self, meeting_id: str, delay_s: float) -> bool:
+        """Push a pending request's due time back by ``delay_s``.
+
+        Models a delayed SEMB report / control-channel congestion: the
+        demand is still there, but the shard acts on it later.  Used by
+        the chaos subsystem's ``delay_report`` fault.
+
+        Returns:
+            True if a pending request was deferred.
+        """
+        if delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+        pending = self._pending.get(meeting_id)
+        if pending is None:
+            return False
+        pending.due_at_s += delay_s
+        return True
+
+    def drop_pending(self, meeting_id: str) -> Optional[SolveRequest]:
+        """Drop (and return) a meeting's pending request, if any.
+
+        Models a lost SEMB report: the solve demand evaporates without
+        touching the last-solve clocks, so the ``max_interval_s`` time
+        trigger still guarantees an eventual refresh.  Used by the chaos
+        subsystem's ``drop_report`` fault.
+        """
+        return self._pending.pop(meeting_id, None)
+
     def forget(self, meeting_id: str) -> Optional[Problem]:
         """Drop all state for a meeting (it re-homed away).
 

@@ -46,7 +46,9 @@ def single_stream_fallback(problem: Problem) -> Solution:
         streams = problem.feasible_streams[pub]
         if not streams:
             continue
-        smallest = min(streams, key=lambda s: s.bitrate_kbps)
+        # Tie-break equal bitrates by resolution so the chosen fallback
+        # stream is invariant to the ordering of the feasible set.
+        smallest = min(streams, key=lambda s: (s.bitrate_kbps, s.resolution))
         if smallest.bitrate_kbps > problem.uplink_budget(problem.owner(pub)):
             continue
         chosen[pub] = smallest

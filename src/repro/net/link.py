@@ -155,6 +155,78 @@ class Link:
         self._receiver(packet, self._sim.now)
 
 
+class FaultyLink:
+    """A fault-aware decorator around a :class:`Link` (chaos injection).
+
+    Presents the same data-path surface as a link (``send`` / ``connect``
+    / ``stats``) while injecting deterministic faults the wrapped link
+    does not model on its own:
+
+    * **blackouts** — scheduled windows during which every offered packet
+      is dropped before it reaches the link (a loss *burst*, as opposed to
+      the link's i.i.d. random loss);
+    * **selective drops** — an optional predicate that silently discards
+      matching packets (e.g. only one simulcast stream's SSRC), which is
+      exactly the condition Sec. 7's client-side downgrade watchdog
+      exists to detect.
+
+    Injected drops are accounted separately (:attr:`injected_drops`) so a
+    test can distinguish chaos from organic queue/loss behaviour.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        drop_predicate: Optional[Callable[[Packet], bool]] = None,
+    ) -> None:
+        self._sim = sim
+        self.link = link
+        self.drop_predicate = drop_predicate
+        self.injected_drops = 0
+        self._blackouts: List[Tuple[float, float]] = []
+
+    def add_blackout(self, start_s: float, end_s: float) -> None:
+        """Drop every packet offered in ``[start_s, end_s)``."""
+        if end_s < start_s:
+            raise ValueError("blackout must end at or after it starts")
+        self._blackouts.append((start_s, end_s))
+
+    def in_blackout(self, now_s: float) -> bool:
+        """Whether ``now_s`` falls inside any scheduled blackout window."""
+        return any(start <= now_s < end for start, end in self._blackouts)
+
+    # -- Link surface ---------------------------------------------------- #
+
+    @property
+    def name(self) -> str:
+        """The wrapped link's diagnostic label."""
+        return self.link.name
+
+    @property
+    def stats(self) -> LinkStats:
+        """The wrapped link's counters (injected drops never reach it)."""
+        return self.link.stats
+
+    def connect(self, receiver: DeliveryCallback) -> None:
+        """Attach the delivery callback on the wrapped link."""
+        self.link.connect(receiver)
+
+    def send(self, packet: Packet) -> bool:
+        """Offer a packet; chaos drops short-circuit the real link.
+
+        Returns:
+            False when the packet was dropped by an injected fault or the
+            link's queue; True when the link accepted it.
+        """
+        if self.in_blackout(self._sim.now) or (
+            self.drop_predicate is not None and self.drop_predicate(packet)
+        ):
+            self.injected_drops += 1
+            return False
+        return self.link.send(packet)
+
+
 @dataclass
 class DuplexLink:
     """A bidirectional path as a pair of independent directional links.

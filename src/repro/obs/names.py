@@ -160,6 +160,30 @@ SPAN_CLUSTER_TICK = "cluster.tick"
 SPAN_CLUSTER_SOLVE = "cluster.solve"
 
 # --------------------------------------------------------------------- #
+# Chaos & invariant checking (repro.chaos)
+# --------------------------------------------------------------------- #
+
+#: Counter, label ``kind`` — faults injected by chaos runs, by fault kind
+#: (``kill_shard``, ``drop_report``, ``downlink_collapse``, ...).
+CHAOS_FAULTS = "repro_chaos_faults_injected_total"
+#: Counter, label ``invariant`` — invariant evaluations performed
+#: (``constraints``, ``kmr_convergence``, ``fallback_availability``,
+#: ``determinism``).
+CHAOS_CHECKS = "repro_chaos_invariant_checks_total"
+#: Counter, label ``invariant`` — invariant evaluations that FAILED.
+#: Any non-zero value is a bug in the orchestration stack.
+CHAOS_VIOLATIONS = "repro_chaos_invariant_violations_total"
+#: Counter, label ``verdict`` in {"pass", "fail"} — chaos runs completed.
+CHAOS_RUNS = "repro_chaos_runs_total"
+#: Histogram — scheduler ticks a meeting spent degraded on the Sec. 7
+#: single-stream fallback before re-converging to a full KMR solution.
+CHAOS_RECOVERY_TICKS = "repro_chaos_fallback_recovery_ticks"
+
+#: Chaos span names.
+SPAN_CHAOS_RUN = "chaos.run"
+SPAN_CHAOS_TICK = "chaos.tick"
+
+# --------------------------------------------------------------------- #
 # Benchmarks (benchmarks/_harness.py)
 # --------------------------------------------------------------------- #
 
@@ -208,6 +232,11 @@ ALL_METRICS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     CLUSTER_SHARD_FAILOVERS: ("counter", ()),
     CLUSTER_FALLBACKS: ("counter", ()),
     CLUSTER_SOLVE_SECONDS: ("histogram", ()),
+    CHAOS_FAULTS: ("counter", ("kind",)),
+    CHAOS_CHECKS: ("counter", ("invariant",)),
+    CHAOS_VIOLATIONS: ("counter", ("invariant",)),
+    CHAOS_RUNS: ("counter", ("verdict",)),
+    CHAOS_RECOVERY_TICKS: ("histogram", ()),
     BENCHMARK_SECONDS: ("histogram", ("benchmark",)),
 }
 
@@ -220,4 +249,6 @@ ALL_SPANS: Tuple[str, ...] = (
     SPAN_CONTROLLER_TICK,
     SPAN_CLUSTER_TICK,
     SPAN_CLUSTER_SOLVE,
+    SPAN_CHAOS_RUN,
+    SPAN_CHAOS_TICK,
 )

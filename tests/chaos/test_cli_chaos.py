@@ -1,0 +1,106 @@
+"""Tests for the ``repro chaos`` CLI surface."""
+
+import json
+
+from repro.cli import build_parser, main
+
+FAST = ["--meetings", "2", "--duration", "4"]
+
+
+class TestParser:
+    def test_chaos_requires_subcommand(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["chaos", "run"])
+        assert args.scenario == "kitchen_sink"
+        assert args.seed == 1
+        assert args.shards == 2
+
+    def test_soak_defaults(self):
+        args = build_parser().parse_args(["chaos", "soak"])
+        assert args.seeds == 20
+        assert args.scenario is None
+
+
+class TestScenariosCommand:
+    def test_lists_registry(self, capsys):
+        assert main(["chaos", "scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "healthy" in out
+        assert "unfixable" in out
+
+
+class TestRunCommand:
+    def test_healthy_run_exits_zero(self, capsys):
+        rc = main(["chaos", "run", "--scenario", "healthy", *FAST])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "report digest" in out
+
+    def test_json_output_is_canonical(self, capsys):
+        rc = main(
+            ["chaos", "run", "--scenario", "unfixable", "--json", *FAST]
+        )
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["ok"] is True
+        assert record["scenario"] == "unfixable"
+        assert record["served_by_source"].get("fallback", 0) > 0
+
+    def test_unknown_scenario_exits_two(self, capsys):
+        rc = main(["chaos", "run", "--scenario", "nope", *FAST])
+        assert rc == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestSoakCommand:
+    def test_short_soak_green(self, capsys, tmp_path):
+        out_path = tmp_path / "soak.jsonl"
+        rc = main(
+            [
+                "chaos",
+                "soak",
+                "--seeds",
+                "1",
+                "--scenario",
+                "healthy",
+                "--scenario",
+                "unfixable",
+                "--out",
+                str(out_path),
+                *FAST,
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "OK" in text
+        lines = out_path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["ok"] for line in lines)
+
+    def test_metrics_out_written(self, capsys, tmp_path):
+        metrics = tmp_path / "chaos.prom"
+        rc = main(
+            [
+                "chaos",
+                "soak",
+                "--seeds",
+                "1",
+                "--scenario",
+                "healthy",
+                "--metrics-out",
+                str(metrics),
+                *FAST,
+            ]
+        )
+        assert rc == 0
+        assert "repro_chaos_runs_total" in metrics.read_text()
+
+    def test_unknown_scenario_exits_two(self, capsys):
+        rc = main(["chaos", "soak", "--seeds", "1", "--scenario", "nope", *FAST])
+        assert rc == 2

@@ -1,0 +1,88 @@
+"""Tests for the soak sweep and its JSONL verdict stream."""
+
+import json
+
+import pytest
+
+from repro.chaos.report import REPORT_SCHEMA
+from repro.chaos.runner import ChaosConfig
+from repro.chaos.soak import run_scenario, soak
+
+
+def fast_config():
+    return ChaosConfig(meetings=2, duration_s=4.0)
+
+
+class TestRunScenario:
+    def test_overrides_seed_in_config(self):
+        report = run_scenario("healthy", seed=9, config=fast_config())
+        assert report.seed == 9
+        assert report.config["seed"] == 9
+
+    def test_accepts_scenario_objects(self):
+        from repro.chaos.scenarios import get_scenario
+
+        report = run_scenario(
+            get_scenario("healthy"), seed=1, config=fast_config()
+        )
+        assert report.scenario == "healthy"
+
+
+class TestSoak:
+    def test_sweep_is_green_and_sized(self):
+        result = soak(
+            seeds=2,
+            scenarios=["healthy", "unfixable"],
+            config=fast_config(),
+        )
+        assert result.ok
+        assert result.runs == 4
+        assert result.violations == 0
+        assert not result.determinism_failures
+
+    def test_jsonl_output(self, tmp_path):
+        out = tmp_path / "verdicts.jsonl"
+        result = soak(
+            seeds=1, scenarios=["healthy"], config=fast_config(), out=out
+        )
+        lines = out.read_text().splitlines()
+        assert len(lines) == result.runs == 1
+        record = json.loads(lines[0])
+        assert record["schema"] == REPORT_SCHEMA
+        assert record["ok"] is True
+        assert record["scenario"] == "healthy"
+
+    def test_base_seed_shifts_the_sweep(self):
+        a = soak(
+            seeds=1,
+            scenarios=["healthy"],
+            config=fast_config(),
+            base_seed=0,
+        )
+        b = soak(
+            seeds=1,
+            scenarios=["healthy"],
+            config=fast_config(),
+            base_seed=5,
+        )
+        assert a.reports[0].seed == 0
+        assert b.reports[0].seed == 5
+        assert a.reports[0].digest() != b.reports[0].digest()
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            soak(seeds=1, scenarios=["nope"], config=fast_config())
+
+    def test_zero_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            soak(seeds=0)
+
+    def test_summary_mentions_each_scenario(self):
+        result = soak(
+            seeds=1,
+            scenarios=["healthy", "unfixable"],
+            config=fast_config(),
+        )
+        text = result.summary()
+        assert "healthy" in text and "unfixable" in text
+        assert "OK" in text

@@ -47,6 +47,24 @@ class TestSingleStreamFallback:
         s.validate(p)
         assert s.policies.get("A", {}) == {}
 
+    def test_tie_break_picks_lowest_resolution_regardless_of_order(self):
+        # Two streams at the same bitrate: the fallback must choose by
+        # (bitrate, resolution), not by feasible-set ordering.  Equal
+        # bitrates cannot pass Problem validation, so the tie is staged
+        # by overriding the feasible set after construction.
+        tie = [
+            StreamSpec(100, Resolution.P360, 60.0),
+            StreamSpec(100, Resolution.P90, 20.0),
+        ]
+        p = self.mesh({"A": (5000, 5000), "B": (5000, 5000)})
+        for order in (list(tie), list(reversed(tie))):
+            p.feasible_streams["A"] = order
+            s = single_stream_fallback(p)
+            streams = s.published_streams("A")
+            assert len(streams) == 1
+            assert streams[0].resolution == Resolution.P90
+            assert streams[0].bitrate_kbps == 100
+
     def test_fallback_respects_subscription_caps(self):
         ladder = [StreamSpec(500, Resolution.P360, 100.0)]
         p = Problem(

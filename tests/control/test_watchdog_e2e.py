@@ -1,0 +1,93 @@
+"""End-to-end test: the subscription watchdog against a net/ loss burst.
+
+Publisher "A" simulcasts two streams (P720 + P180) to one subscriber
+over two simulated links.  Mid-run the P720 link suffers a blackout (a
+:class:`~repro.net.link.FaultyLink` loss burst) while P180 keeps
+flowing — exactly the Sec. 7 condition: "a server instructs a client to
+send multiple streams, however, only a low bitrate stream is received".
+The watchdog must fire the downgrade while the burst lasts and un-fire
+once the high stream recovers.
+"""
+
+from repro.control.failover import SubscriptionWatchdog
+from repro.core import Resolution
+from repro.net.link import FaultyLink, Link
+from repro.net.packet import Packet
+from repro.net.simulator import PeriodicTask, Simulator
+
+BLACKOUT = (4.0, 8.0)
+DURATION = 12.0
+EXPECTED = {("A", Resolution.P720): True, ("A", Resolution.P180): True}
+
+
+def run_meeting():
+    """Returns (watchdog-probe observations, faulty link)."""
+    sim = Simulator()
+    dog = SubscriptionWatchdog(stale_after_s=2.0)
+
+    def receiver(resolution):
+        def on_delivery(packet, now_s):
+            dog.on_packet("A", resolution, now_s)
+
+        return on_delivery
+
+    high = FaultyLink(sim, Link(sim, 5000.0, name="A-high"))
+    high.add_blackout(*BLACKOUT)
+    high.connect(receiver(Resolution.P720))
+    low = Link(sim, 5000.0, name="A-low")
+    low.connect(receiver(Resolution.P180))
+
+    PeriodicTask(
+        sim,
+        0.1,
+        lambda: high.send(Packet(payload=b"hi", size_bytes=1200, src="A")),
+        start_offset=0.05,
+    )
+    PeriodicTask(
+        sim,
+        0.1,
+        lambda: low.send(Packet(payload=b"lo", size_bytes=300, src="A")),
+        start_offset=0.05,
+    )
+
+    observations = {}
+
+    def probe(label):
+        def run_probe():
+            now = sim.now
+            observations[label] = {
+                "stale": dog.stale_subscriptions(EXPECTED, now),
+                "target": dog.downgrade_target("A", Resolution.P720, now),
+            }
+
+        return run_probe
+
+    sim.schedule_at(3.5, probe("before"))
+    sim.schedule_at(6.8, probe("during"))
+    sim.schedule_at(10.8, probe("after"))
+    sim.run_until(DURATION)
+    return observations, high
+
+
+class TestWatchdogEndToEnd:
+    def test_downgrade_fires_during_burst_and_unfires_after(self):
+        obs, _ = run_meeting()
+        assert obs["before"]["stale"] == []
+        assert obs["during"]["stale"] == [("A", Resolution.P720)]
+        assert obs["during"]["target"] == Resolution.P180
+        assert obs["after"]["stale"] == []
+
+    def test_burst_dropped_only_the_high_stream(self):
+        _, high = run_meeting()
+        # ~40 packets offered during the 4 s blackout at 10 Hz.
+        assert 35 <= high.injected_drops <= 45
+        assert high.stats.lost_packets == 0  # drops were injected, not organic
+
+    def test_no_downgrade_when_low_stream_also_dark(self):
+        """A publisher gone entirely silent is not a downgrade case."""
+        dog = SubscriptionWatchdog(stale_after_s=2.0)
+        dog.on_packet("A", Resolution.P720, 1.0)
+        dog.on_packet("A", Resolution.P180, 1.0)
+        # Both streams silent for 5 s: no sibling alive, so no downgrade.
+        assert dog.stale_subscriptions(EXPECTED, 6.0) == []
+        assert dog.downgrade_target("A", Resolution.P720, 6.0) is None

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.net.link import Link, make_duplex
+from repro.net.link import FaultyLink, Link, make_duplex
 from repro.net.packet import Packet
 from repro.net.simulator import Simulator
 
@@ -152,3 +152,79 @@ class TestStatsAndHelpers:
         assert duplex.forward.bandwidth_kbps == 500
         assert duplex.backward.bandwidth_kbps == 2000
         assert duplex.forward.name == "cli:up"
+
+
+class TestFaultyLink:
+    def test_delegates_when_no_fault_active(self):
+        sim = Simulator()
+        faulty = FaultyLink(sim, Link(sim, bandwidth_kbps=1000))
+        received = collect(faulty)
+        assert faulty.send(pkt()) is True
+        sim.run_until(1.0)
+        assert len(received) == 1
+        assert faulty.injected_drops == 0
+
+    def test_blackout_drops_everything_in_window(self):
+        sim = Simulator()
+        faulty = FaultyLink(sim, Link(sim, bandwidth_kbps=1000))
+        faulty.add_blackout(1.0, 2.0)
+        received = collect(faulty)
+        for when in (0.5, 1.5, 2.5):
+            sim.schedule_at(when, lambda: faulty.send(pkt()))
+        sim.run_until(5.0)
+        assert len(received) == 2  # the 1.5 s packet was injected away
+        assert faulty.injected_drops == 1
+
+    def test_blackout_window_is_half_open(self):
+        sim = Simulator()
+        faulty = FaultyLink(sim, Link(sim, bandwidth_kbps=1000))
+        faulty.add_blackout(1.0, 2.0)
+        assert not faulty.in_blackout(0.999)
+        assert faulty.in_blackout(1.0)
+        assert faulty.in_blackout(1.999)
+        assert not faulty.in_blackout(2.0)
+
+    def test_multiple_blackouts(self):
+        sim = Simulator()
+        faulty = FaultyLink(sim, Link(sim, bandwidth_kbps=1000))
+        faulty.add_blackout(1.0, 2.0)
+        faulty.add_blackout(3.0, 4.0)
+        assert faulty.in_blackout(1.5)
+        assert not faulty.in_blackout(2.5)
+        assert faulty.in_blackout(3.5)
+
+    def test_rejects_inverted_blackout(self):
+        sim = Simulator()
+        faulty = FaultyLink(sim, Link(sim, bandwidth_kbps=1000))
+        with pytest.raises(ValueError):
+            faulty.add_blackout(2.0, 1.0)
+
+    def test_drop_predicate_is_selective(self):
+        sim = Simulator()
+        faulty = FaultyLink(
+            sim,
+            Link(sim, bandwidth_kbps=1000),
+            drop_predicate=lambda p: p.src == "high",
+        )
+        received = collect(faulty)
+        assert faulty.send(Packet(payload=b"", size_bytes=100, src="high")) is False
+        assert faulty.send(Packet(payload=b"", size_bytes=100, src="low")) is True
+        sim.run_until(1.0)
+        assert [p.src for p, _ in received] == ["low"]
+        assert faulty.injected_drops == 1
+
+    def test_injected_drops_bypass_link_stats(self):
+        sim = Simulator()
+        inner = Link(sim, bandwidth_kbps=1000)
+        faulty = FaultyLink(sim, inner, drop_predicate=lambda p: True)
+        collect(faulty)
+        faulty.send(pkt())
+        assert faulty.injected_drops == 1
+        assert inner.stats.sent_packets == 0
+        assert faulty.stats is inner.stats
+
+    def test_presents_link_surface(self):
+        sim = Simulator()
+        inner = Link(sim, bandwidth_kbps=1000, name="inner")
+        faulty = FaultyLink(sim, inner)
+        assert faulty.name == "inner"

@@ -134,3 +134,49 @@ class TestEmittedNamesAreCanonical:
         }
         assert seen_spans  # spans were recorded
         assert seen_spans <= set(names.ALL_SPANS)
+
+
+class TestChaosNamesCovered:
+    """The chaos subsystem's names are canonical and documented."""
+
+    CHAOS_METRICS = (
+        names.CHAOS_FAULTS,
+        names.CHAOS_CHECKS,
+        names.CHAOS_VIOLATIONS,
+        names.CHAOS_RUNS,
+        names.CHAOS_RECOVERY_TICKS,
+    )
+
+    def test_chaos_metrics_are_canonical(self):
+        registered = {
+            m for m in names.ALL_METRICS if m.startswith("repro_chaos_")
+        }
+        assert registered == set(self.CHAOS_METRICS)
+
+    def test_chaos_spans_are_canonical(self):
+        assert {names.SPAN_CHAOS_RUN, names.SPAN_CHAOS_TICK} <= set(
+            names.ALL_SPANS
+        )
+
+    def test_chaos_metrics_documented(self, guide_text):
+        for metric in self.CHAOS_METRICS:
+            assert metric in guide_text, metric
+        for span in (names.SPAN_CHAOS_RUN, names.SPAN_CHAOS_TICK):
+            assert span in guide_text, span
+
+    def test_chaos_run_emits_only_canonical_names(self):
+        from repro.chaos import ChaosConfig, run_scenario
+
+        with enabled_registry() as reg:
+            run_scenario(
+                "unfixable",
+                seed=1,
+                config=ChaosConfig(seed=1, meetings=2, duration_s=4.0),
+            )
+            emitted = set(reg.metric_names())
+        assert {
+            names.CHAOS_FAULTS,
+            names.CHAOS_CHECKS,
+            names.CHAOS_RUNS,
+        } <= emitted
+        assert emitted <= set(names.ALL_METRICS)
