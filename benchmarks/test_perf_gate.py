@@ -1,0 +1,243 @@
+"""Perf-regression gate: three fixed workloads vs a committed baseline.
+
+Runs the same deterministic workloads every time:
+
+1. **solver_mesh** — solve-latency distribution (p50/p95) over a fixed
+   set of full-mesh problems (the Fig. 6 workload shape);
+2. **cluster_cache** — the fingerprint-cache hit rate of a repeated
+   submit/tick workload through the controller cluster (deterministic);
+3. **chaos_events** — a full chaos run (``bandwidth_collapse`` seed 1)
+   with the telemetry pipeline enabled; writes the sample event log to
+   ``benchmarks/out/sample_events.jsonl`` and records the event digest.
+
+Results are written canonically to ``benchmarks/out/BENCH_PR4.json`` and
+compared against the committed baseline in
+``benchmarks/baselines/BENCH_PR4.json``:
+
+* solve-latency p95 may not regress more than 15 % (after normalizing by
+  the calibration workload, so a slower CI machine does not false-fail);
+* the cache hit rate may not drop more than 15 % relative;
+* the event digest is compared informationally (it changes whenever the
+  event vocabulary or the runner's schedule changes — regenerate the
+  baseline alongside such changes).
+
+Outside CI the comparison only prints; the hard failure is armed by
+``REPRO_PERF_GATE=1`` (set in the dedicated ``perf-gate`` CI job).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from _harness import OUT_DIR, emit
+from _problems import mesh_meeting
+
+from repro.chaos import ChaosConfig, ChaosRunner, get_scenario
+from repro.cluster import ClusterConfig, ControllerCluster
+from repro.core.solver import GsoSolver, SolverConfig
+from repro.obs import enabled_registry, record_timeseries
+
+BENCH_SCHEMA = "repro.bench_pr4/v1"
+BASELINE_PATH = Path(__file__).parent / "baselines" / "BENCH_PR4.json"
+RESULT_PATH = OUT_DIR / "BENCH_PR4.json"
+SAMPLE_EVENTS_PATH = OUT_DIR / "sample_events.jsonl"
+
+#: Maximum tolerated relative regression on the gated measures.
+REGRESSION_BUDGET = 0.15
+
+#: Calibration ratios outside this band are treated as measurement noise.
+CALIBRATION_CLAMP = (0.25, 4.0)
+
+
+def _percentile(values: List[float], p: float) -> float:
+    """Nearest-rank percentile (same rule as the obs histograms)."""
+    ordered = sorted(values)
+    rank = max(1, int(round(p / 100.0 * len(ordered) + 0.5)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _calibrate(rounds: int = 5, iterations: int = 200_000) -> float:
+    """Best-of wall time of a fixed pure-Python workload.
+
+    The committed baseline carries the recording machine's calibration;
+    the gate scales latency budgets by the ratio so a slower (or faster)
+    CI machine is judged fairly.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        acc = 0
+        for k in range(iterations):
+            acc += k * k % 7
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _solver_mesh() -> Dict[str, object]:
+    """Workload 1: solve-latency p50/p95 over fixed mesh problems.
+
+    Each problem's latency is its best-of-rounds wall time — scheduler
+    noise only ever adds time, so the minimum is the stable estimate of
+    the solve cost, while an algorithmic regression moves every round.
+    The percentiles are then taken across the problem sizes.
+    """
+    solver = GsoSolver(SolverConfig(granularity_kbps=10))
+    sizes = (6, 8, 10, 12, 14, 16)
+    problems = [mesh_meeting(n, 9, seed=3) for n in sizes]
+    for problem in problems:  # warmup: numpy + allocator caches
+        solver.solve(problem)
+    rounds = 5
+    samples: List[float] = []
+    for problem in problems:
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            solver.solve(problem)
+            best = min(best, time.perf_counter() - start)
+        samples.append(best)
+    return {
+        "solves": len(problems) * rounds,
+        "p50_ms": round(_percentile(samples, 50.0) * 1000, 4),
+        "p95_ms": round(_percentile(samples, 95.0) * 1000, 4),
+    }
+
+
+def _cluster_cache() -> Dict[str, object]:
+    """Workload 2: fingerprint-cache hit rate (fully deterministic)."""
+    cluster = ControllerCluster(
+        ClusterConfig(shards=2, cache_capacity=1024, pool_workers=0)
+    )
+    try:
+        # Eight meetings sharing four distinct pictures: resubmissions of
+        # an already-solved picture must come back from the cache.
+        meetings = [
+            (f"bench-{k}", mesh_meeting(6, 6, seed=10 + k % 4))
+            for k in range(8)
+        ]
+        for meeting_id, _ in meetings:
+            cluster.register(meeting_id)
+        serves = 0
+        for tick in range(12):
+            now = float(tick)
+            for meeting_id, problem in meetings:
+                cluster.submit(meeting_id, problem, now)
+            serves += len(cluster.tick(now))
+        stats = cluster.stats()["cache"]
+    finally:
+        cluster.close()
+    return {
+        "serves": serves,
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "hit_rate": round(stats["hit_rate"], 6),
+    }
+
+
+def _chaos_events() -> Dict[str, object]:
+    """Workload 3: full chaos run with the telemetry pipeline enabled."""
+    config = ChaosConfig(seed=1, meetings=4, duration_s=10.0, shards=2)
+    scenario = get_scenario("bandwidth_collapse")
+    runner = ChaosRunner(
+        config, scenario.build(1, config), scenario=scenario.name
+    )
+    start = time.perf_counter()
+    with enabled_registry(), record_timeseries():
+        report = runner.run()
+    wall_s = time.perf_counter() - start
+    runner.events.write_jsonl(SAMPLE_EVENTS_PATH)
+    return {
+        "events": runner.events.emitted,
+        "event_digest": runner.events.digest(),
+        "slo_ok": report.slo_ok,
+        "ok": report.ok,
+        "wall_s": round(wall_s, 4),
+    }
+
+
+def _compare(result: dict, baseline: dict) -> List[str]:
+    """Gate comparisons; returns a list of failure descriptions."""
+    failures: List[str] = []
+    lo, hi = CALIBRATION_CLAMP
+    ratio = result["calibration_s"] / baseline["calibration_s"]
+    ratio = min(max(ratio, lo), hi)
+
+    base_p95 = baseline["workloads"]["solver_mesh"]["p95_ms"]
+    allowed_p95 = base_p95 * ratio * (1.0 + REGRESSION_BUDGET)
+    current_p95 = result["workloads"]["solver_mesh"]["p95_ms"]
+    if current_p95 > allowed_p95:
+        failures.append(
+            f"solver_mesh p95 {current_p95:.3f} ms > allowed "
+            f"{allowed_p95:.3f} ms (baseline {base_p95:.3f} ms, "
+            f"calibration ratio {ratio:.2f})"
+        )
+
+    base_hit = baseline["workloads"]["cluster_cache"]["hit_rate"]
+    floor_hit = base_hit * (1.0 - REGRESSION_BUDGET)
+    current_hit = result["workloads"]["cluster_cache"]["hit_rate"]
+    if current_hit < floor_hit:
+        failures.append(
+            f"cluster_cache hit_rate {current_hit:.4f} < floor "
+            f"{floor_hit:.4f} (baseline {base_hit:.4f})"
+        )
+    return failures
+
+
+def test_perf_gate():
+    calibration_s = _calibrate()
+    result = {
+        "schema": BENCH_SCHEMA,
+        "calibration_s": round(calibration_s, 6),
+        "workloads": {
+            "solver_mesh": _solver_mesh(),
+            "cluster_cache": _cluster_cache(),
+            "chaos_events": _chaos_events(),
+        },
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    RESULT_PATH.write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n"
+    )
+
+    solver = result["workloads"]["solver_mesh"]
+    cache = result["workloads"]["cluster_cache"]
+    chaos = result["workloads"]["chaos_events"]
+    lines = [
+        f"calibration        : {calibration_s * 1000:8.3f} ms "
+        "(fixed pure-Python workload, best of 5)",
+        f"solver_mesh        : p50={solver['p50_ms']:.3f} ms  "
+        f"p95={solver['p95_ms']:.3f} ms  ({solver['solves']} solves)",
+        f"cluster_cache      : hit_rate={cache['hit_rate']:.4f}  "
+        f"({cache['hits']} hits / {cache['misses']} misses, "
+        f"{cache['serves']} serves)",
+        f"chaos_events       : {chaos['events']} events  "
+        f"digest={chaos['event_digest'][:16]}  wall={chaos['wall_s']:.3f} s",
+        f"wrote {RESULT_PATH.relative_to(OUT_DIR.parent)} and "
+        f"{SAMPLE_EVENTS_PATH.relative_to(OUT_DIR.parent)}",
+    ]
+
+    if not BASELINE_PATH.exists():
+        lines.append("no committed baseline — comparison skipped")
+        emit("perf_gate", lines)
+        return
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = _compare(result, baseline)
+    base_digest = baseline["workloads"]["chaos_events"]["event_digest"]
+    if chaos["event_digest"] != base_digest:
+        lines.append(
+            "NOTE: event digest differs from baseline "
+            f"({base_digest[:16]} -> {chaos['event_digest'][:16]}) — "
+            "regenerate benchmarks/baselines/BENCH_PR4.json if the event "
+            "vocabulary or runner schedule changed intentionally"
+        )
+    lines.append(
+        "gate: " + ("FAIL — " + "; ".join(failures) if failures else "PASS")
+    )
+    emit("perf_gate", lines)
+
+    if failures and os.environ.get("REPRO_PERF_GATE") == "1":
+        raise AssertionError("perf gate failed: " + "; ".join(failures))

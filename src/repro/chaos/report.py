@@ -18,7 +18,9 @@ from typing import Dict, Iterable, List, Union
 from ..core.solution import Solution
 
 #: Report schema tag; bump on any encoding change.
-REPORT_SCHEMA = "repro.chaos_report/v1"
+#: v2: serves carry correlation ids, and the report embeds deterministic
+#: SLO verdicts plus the event-log digest.
+REPORT_SCHEMA = "repro.chaos_report/v2"
 
 
 def solution_digest(solution: Solution) -> str:
@@ -61,6 +63,14 @@ class RunReport:
         checks: invariant evaluation counts.
         violations: failed invariant evaluations (empty on a healthy run).
         meetings: per-meeting closing summary.
+        slo: deterministic SLO verdicts (simulated-time measures only —
+            part of the digested canonical encoding).
+        slo_informational: wall-clock SLO verdicts (solve latency).
+            Reported by :meth:`summary` but **never digested**: wall time
+            varies between identical seeded runs.
+        events_total: structured events emitted during the run.
+        event_digest: SHA-256 of the run's canonical event-log JSONL
+            (two same-seed runs must match byte-for-byte).
     """
 
     scenario: str
@@ -72,11 +82,20 @@ class RunReport:
     checks: Dict[str, int] = field(default_factory=dict)
     violations: List[dict] = field(default_factory=list)
     meetings: Dict[str, dict] = field(default_factory=dict)
+    slo: List[dict] = field(default_factory=list)
+    slo_informational: List[dict] = field(default_factory=list)
+    events_total: int = 0
+    event_digest: str = ""
 
     @property
     def ok(self) -> bool:
         """True when no invariant was violated."""
         return not self.violations
+
+    @property
+    def slo_ok(self) -> bool:
+        """True when every deterministic SLO verdict passed."""
+        return all(v.get("ok", True) for v in self.slo)
 
     @property
     def served_by_source(self) -> Dict[str, int]:
@@ -100,6 +119,10 @@ class RunReport:
             "checks": dict(sorted(self.checks.items())),
             "violations": self.violations,
             "meetings": {k: self.meetings[k] for k in sorted(self.meetings)},
+            "slo": self.slo,
+            "slo_ok": self.slo_ok,
+            "events_total": self.events_total,
+            "event_digest": self.event_digest,
             "ok": self.ok,
         }
 
@@ -125,6 +148,25 @@ class RunReport:
             f"{self.served_by_source}",
             f"  invariant checks: {dict(sorted(self.checks.items()))}",
         ]
+        if self.events_total:
+            lines.append(
+                f"  events: {self.events_total} "
+                f"(digest {self.event_digest[:16]})"
+            )
+        for verdict in self.slo + self.slo_informational:
+            value = verdict.get("value")
+            shown = "n/a" if value is None else f"{value:.3f}"
+            word = "PASS" if verdict.get("ok") else (
+                "BURN" if verdict.get("fast_burn") else "FAIL"
+            )
+            if value is None:
+                word = "SKIP"
+            det = "" if verdict.get("deterministic", True) else " (wall-clock)"
+            lines.append(
+                f"  SLO {word} {verdict['name']}: {shown} "
+                f"{verdict.get('comparator', '<=')} "
+                f"{verdict.get('threshold')}{det}"
+            )
         for violation in self.violations:
             lines.append(
                 f"  VIOLATION [{violation['invariant']}] "

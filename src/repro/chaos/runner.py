@@ -31,14 +31,19 @@ from ..cluster.cluster import (
     SOURCE_SHED,
     ServedSolution,
 )
+from ..core.solution import Solution
 from ..core.solver import SolverConfig
 from ..net.simulator import PeriodicTask, Simulator
+from ..obs import events as obs_events
 from ..obs import names as obs_names
+from ..obs.events import EventLog
 from ..obs.registry import get_registry
+from ..obs.slo import SloContext, SloEngine, SloVerdict
 from ..obs.spans import span
+from ..obs.timeseries import active_store
 from . import faults as F
 from .faults import Fault, FaultSchedule
-from .invariants import InvariantChecker
+from .invariants import InvariantChecker, kmr_iteration_bound
 from .report import RunReport, solution_digest
 from .world import ChaosWorld
 
@@ -51,6 +56,41 @@ TICK_PHASE = 0.5
 
 class InjectedSolverFault(RuntimeError):
     """Raised by the solve interceptor for a poisoned meeting."""
+
+
+def _assignment_changes(
+    previous: Optional[Solution], current: Solution
+) -> List[str]:
+    """Sorted human-readable diff of (subscriber <- publisher) streams.
+
+    ``previous is None`` (the bootstrap single-stream default) diffs as
+    all-added, so the first delivered configuration is itself a
+    subscription change — matching what clients experience.
+    """
+
+    def stream_map(solution: Solution) -> Dict[tuple, tuple]:
+        out: Dict[tuple, tuple] = {}
+        for sub in solution.assignments:
+            for pub, stream in solution.assignments[sub].items():
+                out[(sub, pub)] = (stream.resolution.value, stream.bitrate_kbps)
+        return out
+
+    before = {} if previous is None else stream_map(previous)
+    after = stream_map(current)
+    changes: List[str] = []
+    for key in sorted(set(before) | set(after)):
+        sub, pub = key
+        old = before.get(key)
+        new = after.get(key)
+        if old == new:
+            continue
+        if old is None:
+            changes.append(f"{sub}<-{pub}:+{new[0]}")
+        elif new is None:
+            changes.append(f"{sub}<-{pub}:-{old[0]}")
+        else:
+            changes.append(f"{sub}<-{pub}:{old[0]}->{new[0]}")
+    return changes
 
 
 @dataclass
@@ -100,10 +140,18 @@ class ChaosRunner:
         config: ChaosConfig,
         schedule: Optional[FaultSchedule] = None,
         scenario: str = "custom",
+        slo_engine: Optional[SloEngine] = None,
     ) -> None:
         self.config = config
         self.schedule = schedule or FaultSchedule()
         self.scenario = scenario
+        self.slo_engine = slo_engine or SloEngine()
+        #: The run's structured event log (populated by :meth:`run`; kept
+        #: on the runner so CLIs can render timelines afterwards).
+        self.events: EventLog = EventLog()
+        #: The full SLO verdict objects from the last run (the report only
+        #: keeps their dict encodings, split deterministic/informational).
+        self.slo_verdicts: List[SloVerdict] = []
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -140,14 +188,19 @@ class ChaosRunner:
         self._delay_next_report: Dict[str, float] = {}
         self._lose_next_tmmbr: Set[str] = set()
         self._applied: Dict[str, dict] = {}
+        self._applied_solution: Dict[str, Optional[Solution]] = {}
         self._ever_served: Set[str] = set()
         self._fallback_since: Dict[str, int] = {}
         self._meeting_counters: Dict[str, Dict[str, int]] = {}
         self._tick_index = 0
+        self._max_iteration_ratio = 0.0
+        self.events = EventLog()
+        self.slo_verdicts = []
 
         self.cluster.solve_interceptor = self._intercept
         try:
-            with span(obs_names.SPAN_CHAOS_RUN):
+            with span(obs_names.SPAN_CHAOS_RUN), \
+                    obs_events.record_events(self.events):
                 self._bootstrap()
                 self.sim.run_until(cfg.duration_s)
                 self._finalize()
@@ -167,6 +220,7 @@ class ChaosRunner:
                 "t": 0.0,
                 "digest": "",
             }
+            self._applied_solution[meeting_id] = None
             self._meeting_counters[meeting_id] = {
                 "reports_dropped": 0,
                 "tmmbr_lost": 0,
@@ -215,6 +269,27 @@ class ChaosRunner:
         if reg.enabled:
             verdict = "pass" if self.report.ok else "fail"
             reg.counter(obs_names.CHAOS_RUNS, verdict=verdict).inc()
+        self._evaluate_slos()
+        self.report.events_total = self.events.emitted
+        self.report.event_digest = self.events.digest()
+
+    def _evaluate_slos(self) -> None:
+        """Attach SLO verdicts: deterministic ones enter the digested
+        report; wall-clock ones (solve latency) stay informational."""
+        ctx = SloContext(
+            serves=self.report.serves,
+            duration_s=self.config.duration_s,
+            tick_interval_s=self.config.tick_interval_s,
+            stats={"kmr_iteration_ratio_max": self._max_iteration_ratio},
+            registry=get_registry(),
+        )
+        self.slo_verdicts = list(self.slo_engine.evaluate(ctx))
+        for verdict in self.slo_verdicts:
+            row = verdict.to_dict()
+            if verdict.deterministic:
+                self.report.slo.append(row)
+            else:
+                self.report.slo_informational.append(row)
 
     # ------------------------------------------------------------------ #
     # Event callbacks
@@ -256,6 +331,9 @@ class ChaosRunner:
             for served in self.cluster.tick(self.sim.now):
                 self._deliver(served)
             self._check_availability()
+        store = active_store()
+        if store is not None:
+            store.sample_registry(get_registry(), self.sim.now)
 
     def _deliver(self, served: ServedSolution) -> None:
         """Judge and apply one configuration pushed by the cluster."""
@@ -264,6 +342,10 @@ class ChaosRunner:
         assert record.last_problem is not None
         self.checker.check_solution(
             meeting_id, record.last_problem, served.solution, self.sim.now
+        )
+        bound = kmr_iteration_bound(record.last_problem)
+        self._max_iteration_ratio = max(
+            self._max_iteration_ratio, served.solution.iterations / bound
         )
         digest = solution_digest(served.solution)
         delivered = True
@@ -279,6 +361,7 @@ class ChaosRunner:
                 "t": self.sim.now,
                 "tick": self._tick_index,
                 "meeting": meeting_id,
+                "cid": served.correlation_id,
                 "source": served.source,
                 "trigger": served.trigger,
                 "solution": digest,
@@ -286,12 +369,33 @@ class ChaosRunner:
             }
         )
         self._ever_served.add(meeting_id)
+        self.events.emit(
+            obs_events.TMMBR_PUSH if delivered else obs_events.TMMBR_LOST,
+            t=self.sim.now,
+            meeting=meeting_id,
+            cid=served.correlation_id,
+            shard=served.shard,
+            publishers=len(served.solution.policies),
+        )
         if delivered:
+            previous = self._applied_solution.get(meeting_id)
+            changes = _assignment_changes(previous, served.solution)
+            if changes:
+                self.events.emit(
+                    obs_events.SUBSCRIPTION_CHANGE,
+                    t=self.sim.now,
+                    meeting=meeting_id,
+                    cid=served.correlation_id,
+                    shard=served.shard,
+                    changed=len(changes),
+                    changes=",".join(changes[:3]),
+                )
             self._applied[meeting_id] = {
                 "source": served.source,
                 "t": self.sim.now,
                 "digest": digest,
             }
+            self._applied_solution[meeting_id] = served.solution
         self._track_recovery(meeting_id, served.source)
 
     def _track_recovery(self, meeting_id: str, source: str) -> None:
@@ -334,6 +438,19 @@ class ChaosRunner:
         outcome = "applied"
         detail: Dict[str, object] = {}
         kind = fault.kind
+        # Emitted before dispatch so the fault precedes its effects
+        # (handover fallbacks, re-homes) in the causal timeline.
+        self.events.emit(
+            obs_events.FAULT_INJECTED,
+            t=self.sim.now,
+            meeting=(
+                fault.target
+                if fault.target in self.world.meeting_ids
+                else ""
+            ),
+            fault=kind,
+            target=fault.target,
+        )
 
         if kind == F.KILL_SHARD:
             live = self.cluster.live_shards

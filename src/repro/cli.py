@@ -23,7 +23,11 @@ Four subcommands cover the library's main entry points:
 * ``obs`` — the observability surface (see ``docs/OBSERVABILITY.md``):
   run a solve or an example with instrumentation enabled and dump the
   metrics snapshot + per-iteration KMR trace (``obs solve``,
-  ``obs example``), or list the canonical metric names (``obs names``).
+  ``obs example``), list the canonical metric names (``obs names``),
+  run a chaos scenario under the full telemetry pipeline and print the
+  SLO verdicts + event/time-series stats (``obs report``), or
+  reconstruct one meeting's correlated causal timeline
+  (``obs timeline``).
 """
 
 from __future__ import annotations
@@ -433,6 +437,104 @@ def _cmd_obs_example(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_obs_scenario(args: argparse.Namespace):
+    """Run one chaos scenario with the full telemetry pipeline enabled.
+
+    Returns ``(runner, report, store)`` — the runner keeps the event log
+    and SLO verdict objects, the store holds the per-tick registry
+    samples.  Raises :class:`KeyError` for unknown scenario names.
+    """
+    from .chaos import ChaosRunner, get_scenario
+
+    config = _chaos_config(args, args.seed)
+    scenario = get_scenario(args.scenario)
+    schedule = scenario.build(args.seed, config)
+    runner = ChaosRunner(config, schedule, scenario=scenario.name)
+    store = obs.TimeSeriesStore()
+    with obs.enabled_registry(), obs.record_timeseries(store):
+        report = runner.run()
+    return runner, report, store
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    import json
+
+    try:
+        runner, report, store = _run_obs_scenario(args)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.events_out:
+        path = runner.events.write_jsonl(args.events_out)
+        print(
+            f"[obs] wrote {len(runner.events)} event(s) to {path}",
+            file=sys.stderr,
+        )
+    if args.json:
+        payload = obs.report_dict(
+            runner.scenario,
+            args.seed,
+            runner.slo_verdicts,
+            log=runner.events,
+            extra={
+                "chaos": {
+                    "ok": report.ok,
+                    "serves": len(report.serves),
+                    "faults": len(report.faults),
+                    "violations": len(report.violations),
+                    "digest": report.digest(),
+                },
+                "timeseries": store.to_dict(),
+            },
+        )
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            obs.format_report(
+                runner.scenario,
+                args.seed,
+                runner.slo_verdicts,
+                log=runner.events,
+                summary=report.summary(),
+            )
+        )
+        print(
+            f"\ntimeseries: {len(store)} series, "
+            f"{store.points_recorded} points sampled"
+        )
+    return 0 if report.ok and all(v.ok for v in runner.slo_verdicts) else 1
+
+
+def _cmd_obs_timeline(args: argparse.Namespace) -> int:
+    import json
+
+    if args.events:
+        try:
+            log = obs.EventLog.read_jsonl(args.events)
+        except (OSError, ValueError) as exc:
+            print(f"repro obs: cannot read {args.events}: {exc}",
+                  file=sys.stderr)
+            return 2
+        events = log.events
+        title = f"{args.events} — timeline for {args.meeting}"
+    else:
+        try:
+            runner, _, _ = _run_obs_scenario(args)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        events = runner.events.events
+        title = (
+            f"{runner.scenario} seed={args.seed} — "
+            f"timeline for {args.meeting}"
+        )
+    if args.json:
+        print(json.dumps(obs.timeline_dict(events, args.meeting), indent=2))
+    else:
+        print(obs.format_timeline(events, args.meeting, title=title))
+    return 0
+
+
 def _cmd_obs_names(args: argparse.Namespace) -> int:
     print("metric                                              kind       labels")
     print("-" * 78)
@@ -616,6 +718,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_output_args(obs_example)
     obs_example.set_defaults(func=_cmd_obs_example)
+
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="run a chaos scenario with the telemetry pipeline enabled "
+        "and print SLO verdicts + event/time-series stats",
+    )
+    obs_report.add_argument("--scenario", default="bandwidth_collapse")
+    obs_report.add_argument("--seed", type=int, default=1)
+    obs_report.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report payload",
+    )
+    obs_report.add_argument(
+        "--events-out", help="write the run's event log (JSONL) here"
+    )
+    _add_chaos_config_args(obs_report)
+    obs_report.set_defaults(func=_cmd_obs_report)
+
+    obs_timeline = obs_sub.add_parser(
+        "timeline",
+        help="reconstruct one meeting's causal event timeline "
+        "(SEMB report -> solve -> TMMBR -> subscription change)",
+    )
+    obs_timeline.add_argument(
+        "meeting", help="meeting id (e.g. chaos-0)"
+    )
+    obs_timeline.add_argument("--scenario", default="bandwidth_collapse")
+    obs_timeline.add_argument("--seed", type=int, default=1)
+    obs_timeline.add_argument(
+        "--events",
+        help="load an event-log JSONL file instead of running a scenario",
+    )
+    obs_timeline.add_argument(
+        "--json", action="store_true", help="print the timeline as JSON"
+    )
+    _add_chaos_config_args(obs_timeline)
+    obs_timeline.set_defaults(func=_cmd_obs_timeline)
 
     obs_names_cmd = obs_sub.add_parser(
         "names", help="list every canonical metric and span name"

@@ -34,6 +34,7 @@ from ..control.failover import single_stream_fallback
 from ..core.constraints import Problem
 from ..core.solution import Solution
 from ..core.solver import SolverConfig
+from ..obs import events as obs_events
 from ..obs import names as obs_names
 from ..obs.registry import get_registry
 from ..obs.spans import span
@@ -105,6 +106,9 @@ class ServedSolution:
     #: separately for accounting).
     source: str = SOURCE_SOLVE
     trigger: str = TRIGGER_SYNC
+    #: Correlation id of the causal chain that produced this serve
+    #: ("" when no event log was active at ingress).
+    correlation_id: str = ""
 
 
 @dataclass
@@ -130,6 +134,7 @@ class ShardWorker:
         self.scheduler = SolveScheduler(
             min_interval_s=config.min_interval_s,
             max_interval_s=config.max_interval_s,
+            shard=name,
         )
         self.admission = AdmissionController(
             max_solves_per_round=config.max_solves_per_round
@@ -295,6 +300,7 @@ class ControllerCluster:
         source: str,
         trigger: str,
         now_s: float,
+        correlation_id: str = "",
     ) -> ServedSolution:
         """Commit a configuration to a meeting's record and scheduler."""
         record.last_problem = problem
@@ -308,12 +314,25 @@ class ControllerCluster:
             if source in (SOURCE_SOLVE, SOURCE_CACHE):
                 shard.solves += 1
             shard.scheduler.mark_solved(record.meeting_id, problem, now_s)
+        log = obs_events.active_event_log()
+        if log is not None:
+            log.emit(
+                obs_events.SOLVE_SERVED,
+                t=now_s,
+                meeting=record.meeting_id,
+                cid=correlation_id,
+                shard=record.shard,
+                source=source,
+                trigger=trigger,
+                iterations=solution.iterations,
+            )
         return ServedSolution(
             meeting_id=record.meeting_id,
             shard=record.shard,
             solution=solution,
             source=source,
             trigger=trigger,
+            correlation_id=correlation_id,
         )
 
     def _solve_service(self, problem: Problem) -> Tuple[Solution, str]:
@@ -358,6 +377,18 @@ class ControllerCluster:
             reg.counter(
                 obs_names.CLUSTER_SOLVE_REQUESTS, trigger=TRIGGER_SYNC
             ).inc()
+        log = obs_events.active_event_log()
+        cid = ""
+        if log is not None:
+            cid = log.mint(meeting_id)
+            log.emit(
+                obs_events.SEMB_REPORT,
+                t=0.0,
+                meeting=meeting_id,
+                cid=cid,
+                shard=record.shard,
+                trigger=TRIGGER_SYNC,
+            )
         try:
             if self.solve_interceptor is not None:
                 self.solve_interceptor(meeting_id, problem)
@@ -366,7 +397,8 @@ class ControllerCluster:
             solution = self._fallback(record, problem)
             source = SOURCE_FALLBACK
         return self._serve(
-            record, problem, solution, source, TRIGGER_SYNC, now_s=0.0
+            record, problem, solution, source, TRIGGER_SYNC, now_s=0.0,
+            correlation_id=cid,
         ).solution
 
     # ------------------------------------------------------------------ #
@@ -405,6 +437,7 @@ class ControllerCluster:
                             SOURCE_SHED,
                             request.trigger,
                             now_s,
+                            correlation_id=request.correlation_id,
                         )
                     )
                 served.extend(self._run_admitted(admitted, now_s))
@@ -431,6 +464,7 @@ class ControllerCluster:
                             SOURCE_FALLBACK,
                             request.trigger,
                             now_s,
+                            correlation_id=request.correlation_id,
                         )
                     )
                     continue
@@ -447,6 +481,7 @@ class ControllerCluster:
                             SOURCE_CACHE,
                             request.trigger,
                             now_s,
+                            correlation_id=request.correlation_id,
                         )
                     )
                     continue
@@ -478,6 +513,7 @@ class ControllerCluster:
                         source,
                         request.trigger,
                         now_s,
+                        correlation_id=request.correlation_id,
                     )
                 )
             return served
@@ -499,6 +535,7 @@ class ControllerCluster:
                     SOURCE_SOLVE,
                     request.trigger,
                     now_s,
+                    correlation_id=request.correlation_id,
                 )
             )
         return served
@@ -534,6 +571,9 @@ class ControllerCluster:
         reg = get_registry()
         if reg.enabled:
             reg.counter(obs_names.CLUSTER_SHARD_FAILOVERS).inc()
+        log = obs_events.active_event_log()
+        if log is not None:
+            log.emit(obs_events.SHARD_KILLED, t=now_s, shard=name)
 
         served: List[ServedSolution] = []
         rehomed = 0
@@ -547,6 +587,17 @@ class ControllerCluster:
             record.shard = new_shard
             record.rehomes += 1
             rehomed += 1
+            cid = log.mint(meeting_id) if log is not None else ""
+            if log is not None:
+                log.emit(
+                    obs_events.MEETING_REHOMED,
+                    t=now_s,
+                    meeting=meeting_id,
+                    cid=cid,
+                    shard=new_shard,
+                    reason="shard_killed",
+                    previous_shard=name,
+                )
             if problem is None:
                 continue  # registered but never solved: nothing to degrade
             solution = self._fallback(record, problem)
@@ -558,6 +609,7 @@ class ControllerCluster:
                     SOURCE_FALLBACK,
                     TRIGGER_REHOME,
                     now_s,
+                    correlation_id=cid,
                 )
             )
             # The fallback reset the new shard's min-interval clock; the
@@ -581,6 +633,9 @@ class ControllerCluster:
             raise ValueError(f"shard {name!r} already live")
         self._ring.add_node(name)
         self._shards[name] = ShardWorker(name, self.config)
+        log = obs_events.active_event_log()
+        if log is not None:
+            log.emit(obs_events.SHARD_ADDED, t=now_s, shard=name)
         rehomed = 0
         for meeting_id in self.meetings:
             record = self._meetings[meeting_id]
@@ -590,6 +645,15 @@ class ControllerCluster:
             old = self._shards.get(record.shard)
             problem = old.scheduler.forget(meeting_id) if old else None
             problem = problem or record.last_problem
+            if log is not None:
+                log.emit(
+                    obs_events.MEETING_REHOMED,
+                    t=now_s,
+                    meeting=meeting_id,
+                    shard=new_shard,
+                    reason="shard_added",
+                    previous_shard=record.shard,
+                )
             record.shard = new_shard
             record.rehomes += 1
             rehomed += 1

@@ -12,19 +12,30 @@ a ``multiprocessing`` pool can.  The pool is strictly optional:
 Determinism: ``Pool.map`` preserves input order and each task is solved by
 a stateless :class:`~repro.core.solver.GsoSolver`, so the process pool
 returns exactly the serial path's solutions, independent of worker count
-or scheduling.  (Worker processes run with the default ``NullRegistry`` —
-per-solve metrics of pooled solves are recorded by the caller, not the
-workers.)
+or scheduling.
+
+Telemetry: spans are thread-local, so a pooled solve would normally fall
+out of the parent trace.  Each job therefore carries a serialized span
+**context token** (:func:`repro.obs.spans.context_token`); the worker
+times its own solve and ships the measurement back, and the parent
+**stitches** it into the open trace as a ``pool.solve`` child span
+(:func:`repro.obs.spans.stitch_child`).  Worker processes themselves run
+with the default ``NullRegistry`` — all recording happens where the
+results are joined.
 """
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Sequence, Tuple
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.constraints import Problem
 from ..core.solution import Solution
 from ..core.solver import GsoSolver, SolverConfig
 from ..core.types import ClientId, Resolution
+from ..obs.names import SPAN_POOL_SOLVE
+from ..obs.registry import get_registry
+from ..obs.spans import context_token, span, stitch_child
 
 #: Per-worker-process solver, installed by the pool initializer.
 _WORKER_SOLVER: Optional[GsoSolver] = None
@@ -36,10 +47,22 @@ def _init_worker(config: SolverConfig) -> None:
     _WORKER_SOLVER = GsoSolver(config)
 
 
-def _solve_task(problem: Problem) -> Solution:
-    """One pooled solve (runs in a worker process)."""
+def _solve_task(job: Tuple[Problem, Dict[str, object]]) -> Tuple[Solution, Dict[str, object]]:
+    """One pooled solve (runs in a worker process).
+
+    ``job`` is ``(problem, context_token)``; returns the solution plus
+    the worker's self-timed span data for the parent to stitch.
+    """
     assert _WORKER_SOLVER is not None, "pool worker used before initialization"
-    return _WORKER_SOLVER.solve(problem)
+    problem, token = job
+    start = time.perf_counter()
+    solution = _WORKER_SOLVER.solve(problem)
+    child = {
+        "name": SPAN_POOL_SOLVE,
+        "duration_s": time.perf_counter() - start,
+        "token": token,
+    }
+    return solution, child
 
 
 class SolvePool:
@@ -97,13 +120,32 @@ class SolvePool:
         """Solve a batch, preserving input order.
 
         Uses the process pool when available, the in-process solver
-        otherwise; both paths return identical solutions.
+        otherwise; both paths return identical solutions and both record
+        a ``pool.solve`` span per problem into the parent trace.
         """
         if not problems:
             return []
         if self._pool is None:
-            return [self._solver.solve(p) for p in problems]
-        return self._pool.map(_solve_task, list(problems))
+            out: List[Solution] = []
+            for problem in problems:
+                with span(SPAN_POOL_SOLVE):
+                    out.append(self._solver.solve(problem))
+            return out
+        token = context_token()
+        results = self._pool.map(
+            _solve_task, [(p, token) for p in problems]
+        )
+        solutions: List[Solution] = []
+        stitch = get_registry().enabled
+        for solution, child in results:
+            solutions.append(solution)
+            if stitch:
+                stitch_child(
+                    str(child["name"]),
+                    float(child["duration_s"]),
+                    token=child.get("token"),
+                )
+        return solutions
 
     def close(self) -> None:
         """Shut the process pool down (idempotent)."""

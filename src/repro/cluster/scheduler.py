@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.constraints import Problem
+from ..obs import events as obs_events
 from ..obs import names as obs_names
 from ..obs.registry import get_registry
 
@@ -43,6 +44,10 @@ class SolveRequest:
     due_at_s: float = 0.0
     #: How many event submissions were folded into this request.
     coalesced: int = 0
+    #: Correlation id minted at ingress (when an event log is active);
+    #: travels with the request through admission, cache, solve pool and
+    #: delivery so the whole causal chain shares one id.
+    correlation_id: str = ""
 
 
 @dataclass
@@ -64,11 +69,18 @@ class SolveScheduler:
             often from its last snapshot (Fig. 12's 3 s maximum).
     """
 
-    def __init__(self, min_interval_s: float = 1.0, max_interval_s: float = 3.0) -> None:
+    def __init__(
+        self,
+        min_interval_s: float = 1.0,
+        max_interval_s: float = 3.0,
+        shard: str = "",
+    ) -> None:
         if not 0 < min_interval_s <= max_interval_s:
             raise ValueError("need 0 < min_interval <= max_interval")
         self.min_interval_s = min_interval_s
         self.max_interval_s = max_interval_s
+        #: Shard name stamped onto ingress events ("" outside a cluster).
+        self.shard = shard
         self._pending: Dict[str, SolveRequest] = {}
         self._last_solve_s: Dict[str, float] = {}
         self._last_problem: Dict[str, Problem] = {}
@@ -106,6 +118,7 @@ class SolveScheduler:
             reg.counter(
                 obs_names.CLUSTER_SOLVE_REQUESTS, trigger=trigger
             ).inc()
+        log = obs_events.active_event_log()
         pending = self._pending.get(meeting_id)
         if pending is not None:
             pending.problem = problem
@@ -113,6 +126,16 @@ class SolveScheduler:
             self.stats.coalesced += 1
             if reg.enabled:
                 reg.counter(obs_names.CLUSTER_COALESCED).inc()
+            if log is not None:
+                log.emit(
+                    obs_events.REPORT_COALESCED,
+                    t=now_s,
+                    meeting=meeting_id,
+                    cid=pending.correlation_id,
+                    shard=self.shard,
+                    trigger=trigger,
+                    coalesced=pending.coalesced,
+                )
             return pending
         last = self._last_solve_s.get(meeting_id)
         due = now_s if last is None else max(now_s, last + self.min_interval_s)
@@ -122,8 +145,19 @@ class SolveScheduler:
             trigger=trigger,
             submitted_at_s=now_s,
             due_at_s=due,
+            correlation_id=log.mint(meeting_id) if log is not None else "",
         )
         self._pending[meeting_id] = request
+        if log is not None:
+            log.emit(
+                obs_events.SEMB_REPORT,
+                t=now_s,
+                meeting=meeting_id,
+                cid=request.correlation_id,
+                shard=self.shard,
+                trigger=trigger,
+                due_at_s=round(due, 6),
+            )
         return request
 
     # ------------------------------------------------------------------ #
@@ -157,6 +191,17 @@ class SolveScheduler:
                     reg.counter(
                         obs_names.CLUSTER_SOLVE_REQUESTS, trigger=TRIGGER_TIME
                     ).inc()
+                log = obs_events.active_event_log()
+                cid = log.mint(meeting_id) if log is not None else ""
+                if log is not None:
+                    log.emit(
+                        obs_events.TIME_TRIGGER,
+                        t=now_s,
+                        meeting=meeting_id,
+                        cid=cid,
+                        shard=self.shard,
+                        idle_s=round(now_s - last, 6),
+                    )
                 ready.append(
                     SolveRequest(
                         meeting_id=meeting_id,
@@ -164,6 +209,7 @@ class SolveScheduler:
                         trigger=TRIGGER_TIME,
                         submitted_at_s=now_s,
                         due_at_s=now_s,
+                        correlation_id=cid,
                     )
                 )
         ready.sort(key=lambda r: (r.due_at_s, r.meeting_id))

@@ -184,6 +184,29 @@ SPAN_CHAOS_RUN = "chaos.run"
 SPAN_CHAOS_TICK = "chaos.tick"
 
 # --------------------------------------------------------------------- #
+# Telemetry pipeline (repro.obs.events / timeseries / slo)
+# --------------------------------------------------------------------- #
+
+#: Counter, label ``kind`` — structured events appended to the active
+#: event log, by event kind (``semb_report``, ``solve_served``, ...).
+EVENTS_EMITTED = "repro_events_emitted_total"
+#: Counter — events evicted from the bounded event-log ring on overflow.
+EVENTS_DROPPED = "repro_events_dropped_total"
+#: Counter — samples recorded into the active time-series store.
+TIMESERIES_POINTS = "repro_timeseries_points_total"
+#: Gauge — distinct series currently held by the time-series store.
+TIMESERIES_SERIES = "repro_timeseries_series"
+#: Counter, label ``slo`` — SLO objective evaluations performed.
+SLO_EVALUATIONS = "repro_slo_evaluations_total"
+#: Counter, label ``slo`` — SLO evaluations whose full-window verdict
+#: breached the objective.
+SLO_BREACHES = "repro_slo_breaches_total"
+
+#: Telemetry span names.
+SPAN_POOL_SOLVE = "pool.solve"
+SPAN_SLO_EVALUATE = "slo.evaluate"
+
+# --------------------------------------------------------------------- #
 # Benchmarks (benchmarks/_harness.py)
 # --------------------------------------------------------------------- #
 
@@ -237,6 +260,12 @@ ALL_METRICS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     CHAOS_VIOLATIONS: ("counter", ("invariant",)),
     CHAOS_RUNS: ("counter", ("verdict",)),
     CHAOS_RECOVERY_TICKS: ("histogram", ()),
+    EVENTS_EMITTED: ("counter", ("kind",)),
+    EVENTS_DROPPED: ("counter", ()),
+    TIMESERIES_POINTS: ("counter", ()),
+    TIMESERIES_SERIES: ("gauge", ()),
+    SLO_EVALUATIONS: ("counter", ("slo",)),
+    SLO_BREACHES: ("counter", ("slo",)),
     BENCHMARK_SECONDS: ("histogram", ("benchmark",)),
 }
 
@@ -251,4 +280,6 @@ ALL_SPANS: Tuple[str, ...] = (
     SPAN_CLUSTER_SOLVE,
     SPAN_CHAOS_RUN,
     SPAN_CHAOS_TICK,
+    SPAN_POOL_SOLVE,
+    SPAN_SLO_EVALUATE,
 )

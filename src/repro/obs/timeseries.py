@@ -1,0 +1,249 @@
+"""In-memory time-series store: bounded rings of (t, value) samples.
+
+The metrics registry (`repro.obs.registry`) holds *cumulative* state —
+counters only go up, histograms pool all observations since enable.  The
+paper's operational evaluation (Figs. 7/8 timelines, Fig. 12 latency
+envelope) instead needs *windowed* views: "what was the solve-latency
+p95 over the last 30 simulated seconds", "how fast were fallbacks
+engaging between t=10 and t=20".  This module stores periodic samples in
+bounded per-series ring buffers and answers windowed percentile / rate
+queries over them.
+
+Determinism: samples are keyed by *simulated* time supplied by the
+caller, values come from the deterministic registry state, and window
+statistics use the same nearest-rank percentile rule as the registry's
+histograms — so two seeded runs produce identical stores.
+
+Like the registry and the event log, the store is **off by default**:
+install one with :func:`record_timeseries` / :func:`set_store`, and call
+sites pay a single ``active_store() is None`` check when no store is
+installed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+from . import names as obs_names
+from .registry import MetricsRegistry, get_registry
+
+#: Default per-series ring capacity (samples, not seconds).
+DEFAULT_SERIES_CAPACITY = 2048
+
+#: Key type mirroring the registry's: (name, sorted label pairs).
+SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _percentile(values: List[float], p: float) -> float:
+    """Nearest-rank percentile over a sorted copy (same rule as Histogram)."""
+    if not values:
+        return 0.0
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(values)
+    if p == 0.0:
+        return ordered[0]
+    rank = max(1, int(round(p / 100.0 * len(ordered) + 0.5)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Summary of one series over a ``[t0, t1]`` window."""
+
+    count: int
+    min: float
+    max: float
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    #: (last - first) / (t_last - t_first) — the average slope across the
+    #: window; for sampled cumulative counters this is the event rate.
+    rate_per_s: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "min": round(self.min, 6),
+            "max": round(self.max, 6),
+            "mean": round(self.mean, 6),
+            "p50": round(self.p50, 6),
+            "p95": round(self.p95, 6),
+            "p99": round(self.p99, 6),
+            "rate_per_s": round(self.rate_per_s, 6),
+        }
+
+
+_EMPTY = WindowStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class Series:
+    """One bounded ring of (t, value) samples."""
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...],
+                 capacity: int) -> None:
+        self.name = name
+        self.labels = labels
+        self._points: Deque[Tuple[float, float]] = deque(maxlen=capacity)
+
+    def record(self, t: float, value: float) -> None:
+        self._points.append((t, value))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> List[Tuple[float, float]]:
+        return list(self._points)
+
+    def window(self, t0: float = float("-inf"),
+               t1: float = float("inf")) -> WindowStats:
+        """Statistics over samples with ``t0 <= t <= t1``."""
+        selected = [(t, v) for t, v in self._points if t0 <= t <= t1]
+        if not selected:
+            return _EMPTY
+        values = [v for _, v in selected]
+        t_first, v_first = selected[0]
+        t_last, v_last = selected[-1]
+        span = t_last - t_first
+        rate = (v_last - v_first) / span if span > 0 else 0.0
+        return WindowStats(
+            count=len(values),
+            min=min(values),
+            max=max(values),
+            mean=sum(values) / len(values),
+            p50=_percentile(values, 50.0),
+            p95=_percentile(values, 95.0),
+            p99=_percentile(values, 99.0),
+            rate_per_s=rate,
+        )
+
+
+class TimeSeriesStore:
+    """Bounded per-series ring buffers with windowed queries.
+
+    Series are created on first :meth:`record`, keyed exactly like the
+    registry's instruments: ``(name, sorted label pairs)``.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_SERIES_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._series: Dict[SeriesKey, Series] = {}
+        self._lock = threading.Lock()
+        self.points_recorded = 0
+
+    @staticmethod
+    def _key(name: str, labels: Dict[str, str]) -> SeriesKey:
+        return (name, tuple(sorted(labels.items())))
+
+    def series(self, name: str, **labels: str) -> Series:
+        key = self._key(name, labels)
+        found = self._series.get(key)
+        if found is not None:
+            return found
+        with self._lock:
+            found = self._series.get(key)
+            if found is None:
+                found = Series(name, key[1], self.capacity)
+                self._series[key] = found
+            return found
+
+    def record(self, name: str, t: float, value: float, **labels: str) -> None:
+        self.series(name, **labels).record(t, float(value))
+        self.points_recorded += 1
+
+    def window(self, name: str, t0: float = float("-inf"),
+               t1: float = float("inf"), **labels: str) -> WindowStats:
+        key = self._key(name, labels)
+        found = self._series.get(key)
+        return found.window(t0, t1) if found is not None else _EMPTY
+
+    def series_keys(self) -> List[SeriesKey]:
+        return sorted(self._series.keys())
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    # -- registry bridge -------------------------------------------------- #
+
+    def sample_registry(self, registry: Optional[MetricsRegistry],
+                        t: float) -> int:
+        """Sample every counter/gauge (and histogram count) at time ``t``.
+
+        Counters sample their cumulative value (use :meth:`window`'s
+        ``rate_per_s`` for rates); gauges their current value; histograms
+        contribute ``<name>:count`` sampled-count series.  Returns the
+        number of points recorded.
+        """
+        if registry is None or not registry.enabled:
+            return 0
+        with registry._lock:
+            counters = list(registry._counters.values())
+            gauges = list(registry._gauges.values())
+            histograms = list(registry._histograms.values())
+        before = self.points_recorded
+        for c in counters:
+            self.record(c.key[0], t, c.value, **dict(c.key[1]))
+        for g in gauges:
+            self.record(g.key[0], t, g.value, **dict(g.key[1]))
+        for h in histograms:
+            self.record(f"{h.key[0]}:count", t, h.count, **dict(h.key[1]))
+        recorded = self.points_recorded - before
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(obs_names.TIMESERIES_POINTS).inc(recorded)
+            reg.gauge(obs_names.TIMESERIES_SERIES).set(len(self._series))
+        return recorded
+
+    def to_dict(self) -> Dict[str, object]:
+        """Deterministic summary (per-series full-window stats)."""
+        out = []
+        for key in self.series_keys():
+            series = self._series[key]
+            out.append({
+                "name": key[0],
+                "labels": dict(key[1]),
+                "points": len(series),
+                "window": series.window().to_dict(),
+            })
+        return {"series": out, "points_recorded": self.points_recorded}
+
+
+# --------------------------------------------------------------------- #
+# The process-wide slot (off by default)
+# --------------------------------------------------------------------- #
+
+_STORE: Optional[TimeSeriesStore] = None
+
+
+def active_store() -> Optional[TimeSeriesStore]:
+    """The installed :class:`TimeSeriesStore`, or ``None`` (off)."""
+    return _STORE
+
+
+def set_store(store: Optional[TimeSeriesStore]) -> None:
+    """Install (or, with ``None``, remove) the process-wide store."""
+    global _STORE
+    _STORE = store
+
+
+@contextmanager
+def record_timeseries(
+    store: Optional[TimeSeriesStore] = None,
+    capacity: int = DEFAULT_SERIES_CAPACITY,
+) -> Iterator[TimeSeriesStore]:
+    """Context manager: install a store, then restore the previous one."""
+    global _STORE
+    previous = _STORE
+    _STORE = store if store is not None else TimeSeriesStore(capacity=capacity)
+    try:
+        yield _STORE
+    finally:
+        _STORE = previous

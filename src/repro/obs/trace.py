@@ -149,6 +149,75 @@ class SolveTrace:
         path.write_text(self.to_jsonl())
         return path
 
+    @classmethod
+    def from_jsonl_lines(cls, lines: List[str]) -> "SolveTrace":
+        """Parse one trace back from its JSONL encoding.
+
+        The inverse of :meth:`to_jsonl_lines`: re-encoding the parsed
+        trace reproduces the input byte-for-byte (the golden-file test
+        pins this).  Raises ``ValueError`` on a wrong schema or a
+        malformed record sequence.
+        """
+        trace = cls()
+        saw_header = saw_result = False
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            record = row.get("record")
+            if record == "solve":
+                if row.get("schema") != TRACE_SCHEMA:
+                    raise ValueError(
+                        f"unsupported trace schema {row.get('schema')!r}"
+                    )
+                trace.publishers = int(row["publishers"])
+                trace.subscribers = int(row["subscribers"])
+                trace.granularity_kbps = int(row["granularity_kbps"])
+                saw_header = True
+            elif record == "iteration":
+                deletion = row.get("deletion")
+                trace.iterations.append(IterationRecord(
+                    iteration=int(row["iteration"]),
+                    knapsack_values={
+                        k: float(v)
+                        for k, v in row.get("knapsack_values", {}).items()
+                    },
+                    requests_total=int(row.get("requests_total", 0)),
+                    merged_ladders={
+                        pub: {res: int(kbps) for res, kbps in ladder.items()}
+                        for pub, ladder in row.get(
+                            "merged_ladders", {}
+                        ).items()
+                    },
+                    deletion=tuple(deletion) if deletion else None,
+                    step_seconds={
+                        k: float(v)
+                        for k, v in row.get("step_seconds", {}).items()
+                    },
+                ))
+            elif record == "result":
+                trace.convergence_reason = str(row["convergence_reason"])
+                trace.total_iterations = int(row["total_iterations"])
+                trace.reductions = [
+                    (str(pub), str(res)) for pub, res in row["reductions"]
+                ]
+                trace.wall_time_s = float(row["wall_time_s"])
+                saw_result = True
+            else:
+                raise ValueError(f"unknown trace record kind {record!r}")
+        if not saw_header or not saw_result:
+            raise ValueError("trace is missing its header or result record")
+        return trace
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "SolveTrace":
+        return cls.from_jsonl_lines(text.splitlines())
+
+    @classmethod
+    def read_jsonl(cls, path: Union[str, Path]) -> "SolveTrace":
+        return cls.from_jsonl(Path(path).read_text())
+
 
 class TraceCollector:
     """Accumulates the :class:`SolveTrace` of every solve while installed."""

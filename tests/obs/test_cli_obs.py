@@ -109,3 +109,104 @@ class TestObsNames:
             assert metric in out
         for span_name in names.ALL_SPANS:
             assert span_name in out
+
+
+CHAOS_ARGS = ["--meetings", "3", "--duration", "6"]
+
+
+class TestObsReport:
+    def test_text_report_sections(self, capsys):
+        rc = main(["obs", "report", "--seed", "1"] + CHAOS_ARGS)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "slo verdicts:" in out
+        assert "kmr_iteration_bound" in out
+        assert "events: emitted=" in out
+        assert "timeseries:" in out
+
+    def test_json_report_payload(self, capsys):
+        rc = main(["obs", "report", "--json", "--seed", "1"] + CHAOS_ARGS)
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "bandwidth_collapse"
+        assert payload["slo_ok"] is True
+        assert payload["events"]["emitted"] > 0
+        assert payload["chaos"]["ok"] is True
+        assert payload["timeseries"]["points_recorded"] > 0
+
+    def test_events_out_writes_jsonl(self, tmp_path, capsys):
+        target = tmp_path / "events.jsonl"
+        rc = main(
+            ["obs", "report", "--events-out", str(target), "--seed", "2"]
+            + CHAOS_ARGS
+        )
+        assert rc == 0
+        from repro.obs import EventLog
+
+        log = EventLog.read_jsonl(target)
+        assert len(log) > 0
+
+    def test_unknown_scenario_errors(self, capsys):
+        rc = main(["obs", "report", "--scenario", "bogus"])
+        assert rc == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_instrumentation_restored(self, capsys):
+        main(["obs", "report", "--seed", "1"] + CHAOS_ARGS)
+        assert not get_registry().enabled
+
+
+class TestObsTimeline:
+    def test_timeline_reconstructs_causal_chain(self, capsys):
+        rc = main(["obs", "timeline", "chaos-0", "--seed", "1"] + CHAOS_ARGS)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "semb_report" in out
+        assert "solve_served" in out
+        assert "tmmbr_push" in out
+        assert "[chaos-0#1]" in out
+
+    def test_timeline_json(self, capsys):
+        rc = main(
+            ["obs", "timeline", "chaos-0", "--json", "--seed", "1"]
+            + CHAOS_ARGS
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meeting"] == "chaos-0"
+        assert payload["chains"]
+        assert payload["chains"][0]["kinds"][0] == "semb_report"
+
+    def test_timeline_from_events_file(self, tmp_path, capsys):
+        target = tmp_path / "events.jsonl"
+        main(
+            ["obs", "report", "--events-out", str(target), "--seed", "1"]
+            + CHAOS_ARGS
+        )
+        capsys.readouterr()
+        rc = main(
+            ["obs", "timeline", "chaos-1", "--events", str(target)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chaos-1" in out
+        assert "semb_report" in out
+
+    def test_unknown_meeting_prints_no_events(self, capsys):
+        rc = main(["obs", "timeline", "ghost", "--seed", "1"] + CHAOS_ARGS)
+        assert rc == 0
+        assert "no events" in capsys.readouterr().out
+
+    def test_unreadable_events_file_errors_cleanly(self, tmp_path, capsys):
+        rc = main(
+            ["obs", "timeline", "m", "--events", str(tmp_path / "nope")]
+        )
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_bad_schema_events_file_errors_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"record":"meta","schema":"bogus/v9"}\n')
+        rc = main(["obs", "timeline", "m", "--events", str(bad)])
+        assert rc == 2
+        assert "unsupported event schema" in capsys.readouterr().err

@@ -136,6 +136,76 @@ class TestEmittedNamesAreCanonical:
         assert seen_spans <= set(names.ALL_SPANS)
 
 
+class TestTelemetryNamesCovered:
+    """The telemetry pipeline's names are canonical and documented."""
+
+    TELEMETRY_METRICS = (
+        names.EVENTS_EMITTED,
+        names.EVENTS_DROPPED,
+        names.TIMESERIES_POINTS,
+        names.TIMESERIES_SERIES,
+        names.SLO_EVALUATIONS,
+        names.SLO_BREACHES,
+    )
+
+    def test_telemetry_metrics_are_canonical(self):
+        registered = {
+            m
+            for m in names.ALL_METRICS
+            if m.startswith(("repro_events_", "repro_timeseries_",
+                             "repro_slo_"))
+        }
+        assert registered == set(self.TELEMETRY_METRICS)
+
+    def test_telemetry_spans_are_canonical(self):
+        assert {names.SPAN_POOL_SOLVE, names.SPAN_SLO_EVALUATE} <= set(
+            names.ALL_SPANS
+        )
+
+    def test_telemetry_metrics_documented(self, guide_text):
+        for metric in self.TELEMETRY_METRICS:
+            assert metric in guide_text, metric
+        for span in (names.SPAN_POOL_SOLVE, names.SPAN_SLO_EVALUATE):
+            assert span in guide_text, span
+
+    def test_event_vocabulary_documented(self, guide_text):
+        from repro.obs.events import ALL_EVENT_KINDS, EVENTS_SCHEMA
+
+        assert EVENTS_SCHEMA in guide_text
+        for kind in ALL_EVENT_KINDS:
+            assert re.search(rf"\b{kind}\b", guide_text), (
+                f"event kind {kind!r} not documented"
+            )
+
+    def test_slo_catalog_documented(self, guide_text):
+        from repro.obs.slo import DEFAULT_SLOS
+
+        for slo in DEFAULT_SLOS:
+            assert re.search(rf"\b{slo.name}\b", guide_text), (
+                f"SLO {slo.name!r} not documented"
+            )
+
+    def test_telemetry_run_emits_only_canonical_names(self):
+        from repro.chaos import ChaosConfig, run_scenario
+        from repro.obs.events import record_events
+        from repro.obs.timeseries import TimeSeriesStore, record_timeseries
+
+        store = TimeSeriesStore()
+        with enabled_registry() as reg, record_events(), \
+                record_timeseries(store):
+            run_scenario(
+                "bandwidth_collapse",
+                seed=1,
+                config=ChaosConfig(seed=1, meetings=2, duration_s=4.0),
+            )
+            emitted = set(reg.metric_names())
+        assert {
+            names.EVENTS_EMITTED,
+            names.SLO_EVALUATIONS,
+        } <= emitted
+        assert emitted <= set(names.ALL_METRICS)
+
+
 class TestChaosNamesCovered:
     """The chaos subsystem's names are canonical and documented."""
 

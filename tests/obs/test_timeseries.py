@@ -1,0 +1,161 @@
+"""Tests for the in-memory time-series store: ring bounds, windowed
+percentiles/rates, the registry bridge, and determinism."""
+
+import pytest
+
+from repro.obs import names
+from repro.obs.registry import MetricsRegistry, enabled_registry
+from repro.obs.timeseries import (
+    DEFAULT_SERIES_CAPACITY,
+    Series,
+    TimeSeriesStore,
+    WindowStats,
+    active_store,
+    record_timeseries,
+    set_store,
+)
+
+
+class TestSeries:
+    def test_window_stats(self):
+        series = Series("s", (), capacity=16)
+        for t, v in enumerate([1.0, 2.0, 3.0, 4.0]):
+            series.record(float(t), v)
+        stats = series.window()
+        assert stats.count == 4
+        assert (stats.min, stats.max) == (1.0, 4.0)
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.p50 == 2.0
+        assert stats.p95 == 4.0
+        # cumulative 1->4 over 3 seconds: 1/s average slope
+        assert stats.rate_per_s == pytest.approx(1.0)
+
+    def test_window_respects_bounds(self):
+        series = Series("s", (), capacity=16)
+        for t in range(10):
+            series.record(float(t), float(t))
+        stats = series.window(t0=3.0, t1=6.0)
+        assert stats.count == 4
+        assert (stats.min, stats.max) == (3.0, 6.0)
+
+    def test_empty_window_is_zero(self):
+        series = Series("s", (), capacity=4)
+        stats = series.window()
+        assert stats == WindowStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_ring_bound(self):
+        series = Series("s", (), capacity=3)
+        for t in range(10):
+            series.record(float(t), float(t))
+        assert len(series) == 3
+        assert [t for t, _ in series.points] == [7.0, 8.0, 9.0]
+
+
+class TestStore:
+    def test_record_and_window_by_labels(self):
+        store = TimeSeriesStore()
+        store.record("m", 1.0, 5.0, shard="a")
+        store.record("m", 1.0, 9.0, shard="b")
+        assert store.window("m", shard="a").max == 5.0
+        assert store.window("m", shard="b").max == 9.0
+        assert store.window("m", shard="absent").count == 0
+        assert len(store) == 2
+
+    def test_series_keys_sorted_and_label_order_independent(self):
+        store = TimeSeriesStore()
+        s1 = store.series("m", a="1", b="2")
+        s2 = store.series("m", b="2", a="1")
+        assert s1 is s2
+        store.record("a_first", 0.0, 1.0)
+        assert store.series_keys()[0][0] == "a_first"
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TimeSeriesStore(capacity=0)
+
+    def test_to_dict_deterministic(self):
+        store = TimeSeriesStore()
+        store.record("m", 1.0, 2.0, shard="a")
+        store.record("m", 2.0, 4.0, shard="a")
+        out = store.to_dict()
+        assert out["points_recorded"] == 2
+        assert out["series"][0]["name"] == "m"
+        assert out["series"][0]["window"]["count"] == 2
+
+
+class TestRegistryBridge:
+    def test_sample_registry_captures_all_instrument_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", kind="a").inc(3)
+        reg.gauge("repro_g").set(7.0)
+        reg.histogram("repro_h").observe(0.5)
+        store = TimeSeriesStore()
+        recorded = store.sample_registry(reg, t=1.0)
+        assert recorded == 3
+        assert store.window("repro_x_total", kind="a").max == 3.0
+        assert store.window("repro_g").max == 7.0
+        assert store.window("repro_h:count").max == 1.0
+
+    def test_sample_none_or_disabled_registry_is_noop(self):
+        store = TimeSeriesStore()
+        assert store.sample_registry(None, t=0.0) == 0
+        from repro.obs.registry import NullRegistry
+
+        assert store.sample_registry(NullRegistry(), t=0.0) == 0
+        assert store.points_recorded == 0
+
+    def test_sampling_rates_from_counter(self):
+        reg = MetricsRegistry()
+        store = TimeSeriesStore()
+        counter = reg.counter("repro_x_total")
+        for t in range(5):
+            counter.inc(2)
+            store.sample_registry(reg, t=float(t))
+        # 2 -> 10 over 4 simulated seconds: 2 events per second.
+        assert store.window("repro_x_total").rate_per_s == pytest.approx(2.0)
+
+    def test_sampling_records_meta_metrics(self):
+        store = TimeSeriesStore()
+        with enabled_registry() as reg:
+            reg.counter("repro_x_total").inc()
+            store.sample_registry(reg, t=1.0)
+            snap = reg.snapshot()
+        assert snap["counters"][names.TIMESERIES_POINTS] >= 1
+        assert snap["gauges"][names.TIMESERIES_SERIES] >= 1.0
+
+
+class TestSlot:
+    def test_off_by_default(self):
+        assert active_store() is None
+
+    def test_record_timeseries_installs_and_restores(self):
+        with record_timeseries() as store:
+            assert active_store() is store
+            assert store.capacity == DEFAULT_SERIES_CAPACITY
+        assert active_store() is None
+
+    def test_set_store_explicit(self):
+        store = TimeSeriesStore()
+        set_store(store)
+        try:
+            assert active_store() is store
+        finally:
+            set_store(None)
+        assert active_store() is None
+
+
+class TestDeterminism:
+    def test_same_seed_chaos_runs_produce_identical_stores(self):
+        from repro.chaos import ChaosConfig, get_scenario, ChaosRunner
+
+        def one_run():
+            config = ChaosConfig(seed=3, meetings=2, duration_s=5.0)
+            scenario = get_scenario("feedback_loss")
+            runner = ChaosRunner(
+                config, scenario.build(3, config), scenario=scenario.name
+            )
+            with enabled_registry(), record_timeseries() as store:
+                runner.run()
+            return store.to_dict()
+
+        assert one_run() == one_run()
