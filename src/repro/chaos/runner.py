@@ -31,6 +31,7 @@ from ..cluster.cluster import (
     SOURCE_SHED,
     ServedSolution,
 )
+from ..core.engine import default_mckp_cache
 from ..core.solution import Solution
 from ..core.solver import SolverConfig
 from ..net.simulator import PeriodicTask, Simulator
@@ -160,6 +161,10 @@ class ChaosRunner:
     def run(self) -> RunReport:
         """Execute the run and return its canonical report."""
         cfg = self.config
+        # Seeded runs must be hermetic: drop the process-wide MCKP
+        # instance cache so a double run replays the identical hit/miss
+        # pattern (the determinism invariant compares metric samples too).
+        default_mckp_cache().clear()
         self.sim = Simulator()
         self.world = ChaosWorld(
             seed=cfg.seed, meetings=cfg.meetings, mean_size=cfg.mean_size

@@ -41,7 +41,14 @@ from typing import List, Optional, Sequence
 
 from . import obs
 from .conference import ClientSpec, MeetingSpec, run_meeting
-from .core import Bandwidth, GsoSolver, Resolution, SolverConfig, make_ladder
+from .core import (
+    Bandwidth,
+    GsoSolver,
+    Resolution,
+    SolverConfig,
+    default_mckp_cache,
+    make_ladder,
+)
 from .core.constraints import Problem, Subscription
 from .obs import names as obs_names
 
@@ -95,6 +102,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(
         f"({stats.iterations} iteration(s), "
         f"{stats.wall_time_s * 1000:.1f} ms)"
+    )
+    eng = stats.engine
+    cache = default_mckp_cache().snapshot()
+    print(
+        f"(engine: {eng.step1_solved} step-1 solves, "
+        f"{eng.step1_skipped} skipped by dirty-set, "
+        f"{eng.deduped} deduped, "
+        f"{eng.cache_hits}/{eng.cache_hits + eng.cache_misses} cache hits; "
+        f"process cache {cache['entries']}/{cache['capacity']} entries, "
+        f"hit rate {cache['hit_rate']:.2f})"
     )
     return 0
 

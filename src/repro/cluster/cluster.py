@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..control.failover import single_stream_fallback
 from ..core.constraints import Problem
+from ..core.engine import default_mckp_cache
 from ..core.solution import Solution
 from ..core.solver import SolverConfig
 from ..obs import events as obs_events
@@ -706,6 +707,7 @@ class ControllerCluster:
             "pool_workers": self.pool.workers,
             "shards": shards,
             "cache": cache,
+            "mckp_cache": default_mckp_cache().snapshot(),
         }
 
     def close(self) -> None:

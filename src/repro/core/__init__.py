@@ -12,6 +12,12 @@ Public API re-exports; see the submodules for the algorithm internals:
 """
 
 from .constraints import Bandwidth, Problem, Subscription
+from .engine import (
+    EngineStats,
+    MckpInstanceCache,
+    default_mckp_cache,
+    instance_key,
+)
 from .explain import ExplainedSolve, explain_solve
 from .hysteresis import UpgradeDamper
 from .ladder import coarse_ladder, make_ladder, paper_ladder, qoe_utility, scale_qoe
@@ -39,7 +45,9 @@ __all__ = [
     "Bandwidth",
     "ClientId",
     "DualSubscription",
+    "EngineStats",
     "GsoSolver",
+    "MckpInstanceCache",
     "MckpSolution",
     "PAPER_RESOLUTIONS",
     "PolicyEntry",
@@ -59,6 +67,8 @@ __all__ = [
     "ExplainedSolve",
     "explain_solve",
     "coarse_ladder",
+    "default_mckp_cache",
+    "instance_key",
     "make_ladder",
     "paper_ladder",
     "qoe_utility",

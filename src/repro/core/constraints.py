@@ -190,6 +190,12 @@ class Problem:
         for edge in self.subscriptions:
             self._followed.setdefault(edge.subscriber, []).append(edge)
             self._served.setdefault(self.canonical(edge.publisher), []).append(edge)
+        # Lazily filled caches for the solver's hot path: the Step-1 edge
+        # order (per subscriber) and the dirty-set reverse index (per
+        # canonical publisher).  Both derive purely from the immutable
+        # subscription list, so caching them is safe.
+        self._ordered_followed: Dict[ClientId, Tuple[Subscription, ...]] = {}
+        self._subscribers_of: Dict[ClientId, Tuple[ClientId, ...]] = {}
 
     # ------------------------------------------------------------------ #
     # Identity resolution
@@ -246,6 +252,48 @@ class Problem:
     def served_by(self, publisher: ClientId) -> List[Subscription]:
         """Subscription edges into a canonical publisher (the set ``M_i``)."""
         return list(self._served.get(self.canonical(publisher), []))
+
+    def ordered_followed_by(self, subscriber: ClientId) -> Tuple[Subscription, ...]:
+        """``N_i'`` in the solver's deterministic Step-1 class order.
+
+        The order encodes the tie-break the paper's Table 1 exhibits:
+        when two assignments have equal total QoE, the subscription edge
+        with the higher resolution cap (e.g. the 720p speaker tile vs. a
+        360p thumbnail) receives the larger stream.  The DP keeps the
+        first-found optimum per class scanning items by descending
+        bitrate, and later classes win ties during backtracking — so
+        sorting edges by ascending cap gives high-cap edges the tie
+        preference.  Computed once per (problem, subscriber) and cached;
+        the solver re-reads it every KMR iteration.
+        """
+        cached = self._ordered_followed.get(subscriber)
+        if cached is None:
+            cached = tuple(
+                sorted(
+                    self._followed.get(subscriber, ()),
+                    key=lambda e: (e.max_resolution, e.publisher),
+                )
+            )
+            self._ordered_followed[subscriber] = cached
+        return cached
+
+    def subscribers_of(self, publisher: ClientId) -> Tuple[ClientId, ...]:
+        """Distinct subscribers with an edge into a canonical publisher.
+
+        The dirty-set reverse index of the incremental solver: after a
+        Step-3 reduction of ``(publisher, resolution)``, exactly these
+        subscribers can see a changed feasible set — every other
+        subscriber's Step-1 instance is byte-identical to the previous
+        iteration's.  Sorted (the solver's subscriber order) and cached.
+        """
+        canonical = self.canonical(publisher)
+        cached = self._subscribers_of.get(canonical)
+        if cached is None:
+            cached = tuple(
+                sorted({e.subscriber for e in self._served.get(canonical, ())})
+            )
+            self._subscribers_of[canonical] = cached
+        return cached
 
     def edge(self, subscriber: ClientId, publisher: ClientId) -> Optional[Subscription]:
         """The subscription edge between a pair (literal publisher id)."""

@@ -1,0 +1,208 @@
+"""The incremental, memoized solve engine behind the KMR hot path.
+
+The KMR loop re-runs Step 1 (the per-subscriber MCKPs) on every
+iteration, yet a Step-3 reduction shrinks only **one** publisher's
+feasible set — and inside a single iteration, homogeneous meetings
+(Fig. 6c: gallery view, every subscriber following every publisher from
+the same plan tier) produce the *same* MCKP instance over and over.
+This module supplies the memoization layers that exploit both kinds of
+repetition without changing a single byte of any
+:class:`~repro.core.solution.Solution`:
+
+* **instance fingerprinting** — :func:`instance_key` canonicalizes one
+  subscriber's ``(classes, capacity, granularity)`` MCKP instance to a
+  hashable key.  The DP only ever sees ``capacity // granularity`` grid
+  slots (weights are rounded *up* onto the grid), so the key stores the
+  slot count, not the raw capacity: two downlinks in the same bucket are
+  provably indistinguishable to the solver — the same argument
+  ``Problem.fingerprint`` makes for whole problems, applied per
+  subscriber;
+* **a process-wide bounded LRU cache** — :class:`MckpInstanceCache`
+  mirrors the cluster's fingerprint-keyed solution cache
+  (``repro.cluster.cache``) one level down: it survives across KMR
+  iterations, solver instances and controller rounds, so a small
+  bandwidth delta that misses the whole-``Problem`` fingerprint still
+  hits on every subscriber whose own instance did not change.
+  ``MckpSolution`` is frozen (tuple picks), so entries are shared
+  without copying;
+* **per-solve accounting** — :class:`EngineStats` counts what each layer
+  saved; :class:`~repro.core.solver.SolveStats` carries it per solve and
+  the metrics named in ``repro.obs.names`` aggregate it process-wide.
+
+The *dirty-set* layer (re-solving only the subscribers that follow the
+reduced publisher between iterations) lives in
+:class:`~repro.core.solver.GsoSolver`; the reverse index it needs is
+``Problem.subscribers_of``.  All layers are gated by
+``SolverConfig(incremental=...)`` — the ``incremental=False`` path is
+the differential baseline the equivalence tests compare against.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..obs import names as obs_names
+from ..obs.registry import get_registry
+from .mckp import Item, MckpSolution
+
+#: Canonical identity of one MCKP instance: (granularity, capacity grid
+#: slots, the per-class item tuples).  Hashable; equal keys imply the DP
+#: returns the identical :class:`MckpSolution` (same picks, value, weight).
+InstanceKey = Tuple[int, int, Tuple[Tuple[Item, ...], ...]]
+
+
+def instance_key(
+    classes: Sequence[Tuple[Item, ...]],
+    capacity: int,
+    granularity: int,
+) -> InstanceKey:
+    """Canonicalize an MCKP instance for dedup/cache lookup.
+
+    The capacity enters as ``capacity // granularity`` (the DP's slot
+    count): item weights are rounded up onto the grid, so the DP cannot
+    distinguish capacities within one granularity bucket — and because a
+    chosen combination's true weight is bounded by ``slots *
+    granularity <= capacity``, the returned solution is feasible for
+    every capacity in the bucket.  Sharing across the bucket is a legal
+    replay, not an approximation.
+    """
+    return (granularity, capacity // granularity, tuple(classes))
+
+
+@dataclass
+class EngineStats:
+    """What the engine's layers saved during one solve.
+
+    Attributes:
+        step1_solved: subscriber instances freshly built this solve
+            (iteration 1 plus every dirty re-solve).
+        step1_skipped: subscriber re-solves avoided by the dirty-set
+            (clean subscribers whose previous requests were reused).
+        deduped: subscriber instances answered by another subscriber's
+            solve within the same knapsack step.
+        cache_hits: instances answered by the process-wide LRU cache.
+        cache_misses: instances that actually ran the DP.
+    """
+
+    step1_solved: int = 0
+    step1_skipped: int = 0
+    deduped: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def dp_solves_avoided(self) -> int:
+        """Step-1 DP runs the three layers saved, combined."""
+        return self.step1_skipped + self.deduped + self.cache_hits
+
+
+@dataclass
+class InstanceCacheStats:
+    """Hit/miss accounting of one :class:`MckpInstanceCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups (0.0 before the first lookup)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class MckpInstanceCache:
+    """Bounded LRU cache of MCKP solutions, keyed by instance identity.
+
+    The per-subscriber sibling of the cluster's
+    :class:`~repro.cluster.cache.SolutionCache`: where that cache needs
+    the *whole meeting* to repeat, this one hits whenever a *single
+    subscriber's* instance repeats — across KMR iterations, across
+    controller rounds, and across entirely different meetings that share
+    ladder shapes and plan-tier downlinks.  Values are frozen
+    :class:`MckpSolution` objects and are shared without copying.
+
+    Args:
+        capacity: maximum retained entries; least-recently-used entries
+            are evicted beyond it.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[InstanceKey, MckpSolution]" = OrderedDict()
+        self.stats = InstanceCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: InstanceKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: InstanceKey) -> Optional[MckpSolution]:
+        """Look up an instance; the hit is the cached object itself."""
+        cached = self._entries.get(key)
+        reg = get_registry()
+        if cached is None:
+            self.stats.misses += 1
+            if reg.enabled:
+                reg.counter(obs_names.MCKP_CACHE, result="miss").inc()
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        if reg.enabled:
+            reg.counter(obs_names.MCKP_CACHE, result="hit").inc()
+        return cached
+
+    def put(self, key: InstanceKey, solution: MckpSolution) -> None:
+        """Insert (or refresh) a solution under its instance key."""
+        self._entries[key] = solution
+        self._entries.move_to_end(key)
+        evicted = 0
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            evicted += 1
+        self.stats.evictions += evicted
+        reg = get_registry()
+        if reg.enabled:
+            if evicted:
+                reg.counter(obs_names.MCKP_CACHE_EVICTIONS).inc(evicted)
+            reg.gauge(obs_names.MCKP_CACHE_ENTRIES).set(len(self._entries))
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
+        self._entries.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-friendly stats view (mirrors the cluster cache's shape)."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "evictions": self.stats.evictions,
+            "hit_rate": self.stats.hit_rate,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MckpInstanceCache(entries={len(self._entries)}/{self.capacity}, "
+            f"hit_rate={self.stats.hit_rate:.2f})"
+        )
+
+
+#: The process-wide cache every incremental solver shares by default.
+_DEFAULT_CACHE = MckpInstanceCache()
+
+
+def default_mckp_cache() -> MckpInstanceCache:
+    """The process-wide instance cache (one per process, pool workers
+    included — each worker process warms its own)."""
+    return _DEFAULT_CACHE

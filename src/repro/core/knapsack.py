@@ -9,15 +9,29 @@ dynamic programming.
 The output is the *request* set ``D_i'`` of Eq. 6: which (publisher, stream)
 pairs each subscriber asks for.  Whether those requests are honoured at the
 requested bitrate is decided by Steps 2-3.
+
+Two execution paths produce byte-identical requests:
+
+* the **direct path** (:func:`solve_subscriber` per subscriber) runs one DP
+  per subscriber — the reference the differential tests compare against;
+* the **memoized path** (``dedup=True``) canonicalizes each subscriber's
+  MCKP instance (:func:`repro.core.engine.instance_key`), solves each
+  distinct instance once per step, optionally consults the process-wide
+  :class:`~repro.core.engine.MckpInstanceCache`, and fans the picks out to
+  every subscriber sharing the instance.  In homogeneous meetings (Fig. 6c
+  gallery view) hundreds of subscribers collapse onto a handful of DPs.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..obs import names as obs_names
+from ..obs.registry import get_registry
 from .constraints import Problem, Subscription
-from .mckp import Item, MckpSolution, solve_mckp_dp, solve_mckp_exhaustive
-from .types import ClientId, StreamSpec
+from .engine import EngineStats, InstanceKey, MckpInstanceCache, instance_key
+from .mckp import Item, solve_mckp_dp, solve_mckp_exhaustive
+from .types import ClientId, Resolution, StreamSpec
 
 #: Step-1 output: per subscriber, per followed publisher, the requested stream.
 Requests = Dict[ClientId, Dict[ClientId, StreamSpec]]
@@ -27,10 +41,116 @@ Requests = Dict[ClientId, Dict[ClientId, StreamSpec]]
 #: QoE bonus so noise-level input changes do not flip assignments (stream
 #: switches cost keyframes and visible quality churn); genuinely better
 #: assignments still win.
-Incumbent = Dict[Tuple[ClientId, ClientId], "object"]
+Incumbent = Dict[Tuple[ClientId, ClientId], Resolution]
 
-#: Signature shared by the DP and exhaustive per-subscriber solvers.
-MckpSolver = Callable[[Sequence[Sequence[Item]], int], MckpSolution]
+#: One subscriber's MCKP instance, ready to solve or fingerprint:
+#: ``(classes, class_streams, class_pubs, capacity)``.  Classes and stream
+#: tuples are positionally aligned; picks index into both.
+_Instance = Tuple[
+    Tuple[Tuple[Item, ...], ...],
+    List[Tuple[StreamSpec, ...]],
+    List[ClientId],
+    int,
+]
+
+#: Per-step memo of edge classes: (canonical publisher, resolution cap) ->
+#: (items, streams).  Within one knapsack step the feasible sets are fixed,
+#: so every subscriber sharing an edge shape shares the built class.
+_EdgeClasses = Dict[
+    Tuple[ClientId, Resolution],
+    Tuple[Tuple[Item, ...], Tuple[StreamSpec, ...]],
+]
+
+
+def _edge_class(
+    problem: Problem,
+    edge: Subscription,
+    feasible: Optional[Mapping[ClientId, Sequence[StreamSpec]]],
+    edge_cache: Optional[_EdgeClasses],
+) -> Tuple[Tuple[Item, ...], Tuple[StreamSpec, ...]]:
+    """The (items, streams) class of one edge, shared across subscribers.
+
+    The edge-feasible set ``S_ii'`` depends only on the canonical
+    publisher's current feasible streams and the edge's resolution cap, so
+    within one step every edge with the same (publisher, cap) pair yields
+    the same class — gallery-view meetings build each class once instead
+    of once per subscriber.
+    """
+    key = (problem.canonical(edge.publisher), edge.max_resolution)
+    cached = edge_cache.get(key) if edge_cache is not None else None
+    if cached is None:
+        streams = tuple(problem.feasible_for_edge(edge, restricted=feasible))
+        items = tuple((s.bitrate_kbps, s.qoe) for s in streams)
+        cached = (items, streams)
+        if edge_cache is not None:
+            edge_cache[key] = cached
+    return cached
+
+
+def _subscriber_instance(
+    problem: Problem,
+    subscriber: ClientId,
+    feasible: Optional[Mapping[ClientId, Sequence[StreamSpec]]],
+    incumbent: Optional[Incumbent],
+    stickiness: float,
+    edge_cache: Optional[_EdgeClasses] = None,
+) -> Optional[_Instance]:
+    """Build one subscriber's MCKP instance (Eq. 1-4), or ``None`` when the
+    subscriber has no fulfillable class."""
+    edges = problem.ordered_followed_by(subscriber)
+    if not edges:
+        return None
+    classes: List[Tuple[Item, ...]] = []
+    class_streams: List[Tuple[StreamSpec, ...]] = []
+    class_pubs: List[ClientId] = []
+    for edge in edges:
+        held = (
+            incumbent.get((subscriber, edge.publisher))
+            if incumbent is not None
+            else None
+        )
+        if held is None:
+            items, streams = _edge_class(problem, edge, feasible, edge_cache)
+        else:
+            # Stickiness personalizes the class values, so edges with an
+            # incumbent bypass the shared per-edge memo.
+            streams = tuple(
+                problem.feasible_for_edge(edge, restricted=feasible)
+            )
+            items = tuple(
+                (
+                    s.bitrate_kbps,
+                    s.qoe * (1.0 + stickiness)
+                    if s.resolution == held
+                    else s.qoe,
+                )
+                for s in streams
+            )
+        if not streams:
+            continue
+        classes.append(items)
+        class_streams.append(streams)
+        class_pubs.append(edge.publisher)
+    if not classes:
+        return None
+    return (
+        tuple(classes),
+        class_streams,
+        class_pubs,
+        problem.downlink_budget(subscriber),
+    )
+
+
+def _fan_out(
+    instance: _Instance, picks: Sequence[Optional[int]]
+) -> Dict[ClientId, StreamSpec]:
+    """Map per-class picks back to this subscriber's requested streams."""
+    _, class_streams, class_pubs, _ = instance
+    return {
+        pub: streams[pick]
+        for pub, streams, pick in zip(class_pubs, class_streams, picks)
+        if pick is not None
+    }
 
 
 def solve_subscriber(
@@ -62,54 +182,17 @@ def solve_subscriber(
         The requested streams ``D_i'`` as a publisher -> stream mapping.
         Publishers whose class was skipped are absent.
     """
-    edges = problem.followed_by(subscriber)
-    if not edges:
+    instance = _subscriber_instance(
+        problem, subscriber, feasible, incumbent, stickiness
+    )
+    if instance is None:
         return {}
-    # Deterministic class order that also encodes the tie-break the paper's
-    # Table 1 exhibits: when two assignments have equal total QoE, the
-    # subscription edge with the higher resolution cap (e.g. the 720p
-    # speaker tile vs. a 360p thumbnail) receives the larger stream.  The DP
-    # keeps the first-found optimum per class scanning items by descending
-    # bitrate, and later classes win ties during backtracking — so sorting
-    # edges by ascending cap gives high-cap edges the tie preference.
-    edges = sorted(edges, key=lambda e: (e.max_resolution, e.publisher))
-    classes: List[List[Item]] = []
-    class_streams: List[List[StreamSpec]] = []
-    class_pubs: List[ClientId] = []
-    for edge in edges:
-        streams = problem.feasible_for_edge(edge, restricted=feasible)
-        if not streams:
-            continue
-        held = (
-            incumbent.get((subscriber, edge.publisher))
-            if incumbent is not None
-            else None
-        )
-        classes.append(
-            [
-                (
-                    s.bitrate_kbps,
-                    s.qoe * (1.0 + stickiness)
-                    if held is not None and s.resolution == held
-                    else s.qoe,
-                )
-                for s in streams
-            ]
-        )
-        class_streams.append(streams)
-        class_pubs.append(edge.publisher)
-    if not classes:
-        return {}
-    capacity = problem.downlink_budget(subscriber)
+    classes, _, _, capacity = instance
     if exhaustive:
         result = solve_mckp_exhaustive(classes, capacity)
     else:
         result = solve_mckp_dp(classes, capacity, granularity=granularity)
-    requests: Dict[ClientId, StreamSpec] = {}
-    for pub, streams, pick in zip(class_pubs, class_streams, result.picks):
-        if pick is not None:
-            requests[pub] = streams[pick]
-    return requests
+    return _fan_out(instance, result.picks)
 
 
 def knapsack_step(
@@ -119,21 +202,77 @@ def knapsack_step(
     exhaustive: bool = False,
     incumbent: Optional[Incumbent] = None,
     stickiness: float = 0.0,
+    subscribers: Optional[Sequence[ClientId]] = None,
+    dedup: bool = False,
+    cache: Optional[MckpInstanceCache] = None,
+    stats: Optional[EngineStats] = None,
 ) -> Requests:
     """Run Step 1 for every subscriber (the |I| independent knapsacks).
 
-    Returns the full request map ``{subscriber: D_i'}``.  Subscribers with no
-    fulfillable request map to an empty dict.
+    Args:
+        subscribers: restrict the step to these subscribers (the solver's
+            dirty set); ``None`` solves all of ``problem.subscribers``.
+        dedup: solve each distinct MCKP instance once per step and fan the
+            result out (the memoized path; requires the DP solver).
+        cache: optional process-wide instance cache consulted before the
+            DP on the memoized path.
+        stats: optional per-solve accounting filled by the memoized path.
+
+    Returns the request map ``{subscriber: D_i'}`` for the selected
+    subscribers.  Subscribers with no fulfillable request map to an empty
+    dict.  Both paths return byte-identical requests for identical inputs.
     """
-    return {
-        sub: solve_subscriber(
-            problem,
-            sub,
-            feasible=feasible,
-            granularity=granularity,
-            exhaustive=exhaustive,
-            incumbent=incumbent,
-            stickiness=stickiness,
+    subs = problem.subscribers if subscribers is None else list(subscribers)
+    if exhaustive or (not dedup and cache is None):
+        return {
+            sub: solve_subscriber(
+                problem,
+                sub,
+                feasible=feasible,
+                granularity=granularity,
+                exhaustive=exhaustive,
+                incumbent=incumbent,
+                stickiness=stickiness,
+            )
+            for sub in subs
+        }
+
+    edge_cache: _EdgeClasses = {}
+    step_memo: Dict[InstanceKey, "object"] = {}
+    requests: Requests = {}
+    deduped = hits = misses = 0
+    for sub in subs:
+        instance = _subscriber_instance(
+            problem, sub, feasible, incumbent, stickiness, edge_cache
         )
-        for sub in problem.subscribers
-    }
+        if instance is None:
+            requests[sub] = {}
+            continue
+        classes, _, _, capacity = instance
+        key = instance_key(classes, capacity, granularity)
+        solution = step_memo.get(key)
+        if solution is not None:
+            deduped += 1
+        else:
+            solution = cache.get(key) if cache is not None else None
+            if solution is not None:
+                hits += 1
+            else:
+                solution = solve_mckp_dp(
+                    classes, capacity, granularity=granularity
+                )
+                misses += 1
+                if cache is not None:
+                    cache.put(key, solution)
+            step_memo[key] = solution
+        requests[sub] = _fan_out(instance, solution.picks)
+    if stats is not None:
+        stats.step1_solved += len(subs)
+        stats.deduped += deduped
+        stats.cache_hits += hits
+        stats.cache_misses += misses
+    if deduped:
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(obs_names.MCKP_INSTANCES_DEDUPED).inc(deduped)
+    return requests

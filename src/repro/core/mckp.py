@@ -28,6 +28,7 @@ testing of the vectorized path.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -83,6 +84,62 @@ def _grid_weight(weight: int, granularity: int) -> int:
     return max(1, -(-weight // granularity))
 
 
+def _class_grid_weights(
+    cls: Sequence[Item], granularity: int
+) -> List[int]:
+    """Grid weights of one class's items, computed once per (class, solve).
+
+    Both the DP sweep and the backtracking consult grid weights; hoisting
+    them per class avoids recomputing the ceil-division per (item, pass).
+    """
+    if granularity == 1:
+        return [w for w, _ in cls]
+    return [_grid_weight(w, granularity) for w, _ in cls]
+
+
+class _DpWorkspace(threading.local):
+    """Reusable DP buffers, grown geometrically and shared across solves.
+
+    The vectorized DP allocates three arrays per solve (two value rows
+    and the choice table); at fleet rates that is allocator traffic on
+    the hottest path in the process.  One workspace per thread hands out
+    right-sized views over persistent buffers instead.  Thread-local so
+    concurrent solver threads never alias each other's tables.
+    """
+
+    def __init__(self) -> None:
+        self._value_a = np.zeros(0, dtype=np.float64)
+        self._value_b = np.zeros(0, dtype=np.float64)
+        self._choices = np.full((0, 0), _NO_CHOICE, dtype=np.int32)
+
+    def arrays(
+        self, n_classes: int, slots: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Views ``(best, scratch, choices)`` initialized for one solve:
+        ``best`` zeroed, ``choices`` filled with the no-choice sentinel."""
+        width = slots + 1
+        if self._value_a.shape[0] < width:
+            size = max(width, 2 * self._value_a.shape[0])
+            self._value_a = np.zeros(size, dtype=np.float64)
+            self._value_b = np.zeros(size, dtype=np.float64)
+        if (
+            self._choices.shape[0] < n_classes
+            or self._choices.shape[1] < width
+        ):
+            rows = max(n_classes, 2 * self._choices.shape[0])
+            cols = max(width, 2 * self._choices.shape[1])
+            self._choices = np.full((rows, cols), _NO_CHOICE, dtype=np.int32)
+        best = self._value_a[:width]
+        scratch = self._value_b[:width]
+        choices = self._choices[:n_classes, :width]
+        best.fill(0.0)
+        choices.fill(_NO_CHOICE)
+        return best, scratch, choices
+
+
+_WORKSPACE = _DpWorkspace()
+
+
 def _empty_solution(n_classes: int) -> MckpSolution:
     return MckpSolution(tuple([NO_PICK] * n_classes), 0.0, 0)
 
@@ -134,20 +191,21 @@ def solve_mckp_dp(
     if n == 0 or slots == 0:
         return _empty_solution(n)
 
-    best = np.zeros(slots + 1, dtype=np.float64)
-    choices = np.full((n, slots + 1), _NO_CHOICE, dtype=np.int32)
+    grid_weights = [_class_grid_weights(cls, granularity) for cls in classes]
+    best, scratch, choices = _WORKSPACE.arrays(n, slots)
     for ci, cls in enumerate(classes):
-        new_best = best.copy()  # skipping this class is always allowed
+        np.copyto(scratch, best)  # skipping this class is always allowed
         row = choices[ci]
+        gws = grid_weights[ci]
         for idx, (w, v) in enumerate(cls):
-            gw = _grid_weight(w, granularity)
+            gw = gws[idx]
             if gw > slots:
                 continue
             cand = best[: slots + 1 - gw] + v
-            better = cand > new_best[gw:]
-            new_best[gw:][better] = cand[better]
+            better = cand > scratch[gw:]
+            scratch[gw:][better] = cand[better]
             row[gw:][better] = idx
-        best = new_best
+        best, scratch = scratch, best
 
     col = int(np.argmax(best))  # argmax returns the smallest maximizing col
     picks: List[Optional[int]] = [NO_PICK] * n
@@ -157,13 +215,12 @@ def solve_mckp_dp(
             picks[ci] = NO_PICK
             continue
         picks[ci] = idx
-        col -= _grid_weight(classes[ci][idx][0], granularity)
+        col -= grid_weights[ci][idx]
     if reg.enabled and granularity > 1:
         # Granularity-induced conservatism: capacity consumed by rounding
         # item weights up to the grid, i.e. budget the DP could not use.
         slack = sum(
-            _grid_weight(classes[ci][idx][0], granularity) * granularity
-            - classes[ci][idx][0]
+            grid_weights[ci][idx] * granularity - classes[ci][idx][0]
             for ci, idx in enumerate(picks)
             if idx is not None
         )
@@ -265,6 +322,65 @@ def solve_mckp_dp_mandatory(
     picks: List[int] = [0] * n
     for ci in range(n - 1, -1, -1):
         idx = int(choices[ci][col])
+        assert idx != _NO_CHOICE, "mandatory DP lost a pick during backtracking"
+        picks[ci] = idx
+        col -= _grid_weight(classes[ci][idx][0], granularity)
+    total_weight = sum(classes[ci][idx][0] for ci, idx in enumerate(picks))
+    total_value = sum(classes[ci][idx][1] for ci, idx in enumerate(picks))
+    if total_weight > capacity:
+        return None
+    return MckpSolution(tuple(picks), total_value, total_weight)
+
+
+def _solve_mckp_dp_mandatory_python(
+    classes: Sequence[Sequence[Item]],
+    capacity: int,
+    granularity: int = 1,
+) -> Optional[MckpSolution]:
+    """Pure-Python reference implementation of :func:`solve_mckp_dp_mandatory`.
+
+    The differential oracle for the vectorized mandatory-pick variant,
+    mirroring it decision-for-decision: the same ``-inf`` infeasibility
+    propagation, the same first-smallest-column argmax tie rule, and the
+    same post-hoc exact-capacity rejection.  Kept for testing only.
+    """
+    _validate(classes, capacity)
+    if granularity < 1:
+        raise ValueError(f"granularity must be >= 1, got {granularity}")
+    if any(len(cls) == 0 for cls in classes):
+        return None
+    n = len(classes)
+    if n == 0:
+        return MckpSolution((), 0.0, 0)
+    slots = capacity // granularity
+
+    neg = float("-inf")
+    best = [neg] * (slots + 1)
+    best[0] = 0.0
+    choices: List[List[int]] = []
+    for cls in classes:
+        new_best = [neg] * (slots + 1)
+        row = [_NO_CHOICE] * (slots + 1)
+        for idx, (w, v) in enumerate(cls):
+            gw = _grid_weight(w, granularity)
+            if gw > slots:
+                continue
+            for c in range(slots, gw - 1, -1):
+                if best[c - gw] == neg:
+                    continue
+                cand = best[c - gw] + v
+                if cand > new_best[c]:
+                    new_best[c] = cand
+                    row[c] = idx
+        best = new_best
+        choices.append(row)
+
+    if all(value == neg for value in best):
+        return None
+    col = max(range(slots + 1), key=lambda c: (best[c], -c))
+    picks: List[int] = [0] * n
+    for ci in range(n - 1, -1, -1):
+        idx = choices[ci][col]
         assert idx != _NO_CHOICE, "mandatory DP lost a pick during backtracking"
         picks[ci] = idx
         col -= _grid_weight(classes[ci][idx][0], granularity)

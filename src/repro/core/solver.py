@@ -27,6 +27,7 @@ from ..obs import trace as obs_trace
 from ..obs.registry import get_registry
 from ..obs.spans import span
 from .constraints import Problem
+from .engine import EngineStats, default_mckp_cache
 from .knapsack import Requests, knapsack_step
 from .merge import merge_step
 from .reduction import reduction_step
@@ -50,12 +51,19 @@ class SolverConfig:
         stickiness: relative QoE bonus for keeping a subscriber's incumbent
             resolution from a publisher (switch damping).  Only effective
             when an ``incumbent`` map is passed to :meth:`GsoSolver.solve`.
+        incremental: run Step 1 through the memoized engine
+            (:mod:`repro.core.engine`): dirty-set re-solves across KMR
+            iterations, intra-iteration instance dedup, and the
+            process-wide MCKP cache.  Byte-identical Solutions either
+            way; ``False`` is the escape hatch / differential baseline.
+            Ignored (treated as ``False``) under ``exhaustive_step1``.
     """
 
     granularity_kbps: int = 1
     exhaustive_step1: bool = False
     max_iterations: Optional[int] = None
     stickiness: float = 0.10
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.granularity_kbps < 1:
@@ -73,6 +81,7 @@ class SolveStats:
     iterations: int = 0
     reductions: List[Tuple[ClientId, Resolution]] = field(default_factory=list)
     wall_time_s: float = 0.0
+    engine: EngineStats = field(default_factory=EngineStats)
 
 
 def _iteration_bound(problem: Problem) -> int:
@@ -181,19 +190,56 @@ class GsoSolver:
         }
         cap = cfg.max_iterations or _iteration_bound(problem)
         reduced: List[Tuple[ClientId, Resolution]] = []
+        inc_map = dict(incumbent) if incumbent else None
+        stickiness = cfg.stickiness if incumbent else 0.0
+        use_engine = cfg.incremental and not cfg.exhaustive_step1
+        cache = default_mckp_cache() if use_engine else None
+        requests: Requests = {}
         with span(obs_names.SPAN_KMR_SOLVE):
             for iteration in range(1, cap + 1):
                 stats.iterations = iteration
                 t0 = time.perf_counter()
-                with span(obs_names.SPAN_KMR_KNAPSACK):
-                    requests = knapsack_step(
-                        problem,
-                        feasible=feasible,
-                        granularity=cfg.granularity_kbps,
-                        exhaustive=cfg.exhaustive_step1,
-                        incumbent=dict(incumbent) if incumbent else None,
-                        stickiness=cfg.stickiness if incumbent else 0.0,
-                    )
+                if use_engine and iteration > 1:
+                    # A reduction shrank exactly one publisher's feasible
+                    # set; only its followers can see a changed instance.
+                    dirty = problem.subscribers_of(reduced[-1][0])
+                    skipped = len(problem.subscribers) - len(dirty)
+                    stats.engine.step1_skipped += skipped
+                    if reg.enabled:
+                        if skipped:
+                            reg.counter(obs_names.KMR_STEP1_SKIPPED).inc(
+                                skipped
+                            )
+                        reg.histogram(
+                            obs_names.KMR_DIRTY_SET_SIZE
+                        ).observe(len(dirty))
+                    with span(obs_names.SPAN_KMR_KNAPSACK_DIRTY):
+                        requests.update(
+                            knapsack_step(
+                                problem,
+                                feasible=feasible,
+                                granularity=cfg.granularity_kbps,
+                                incumbent=inc_map,
+                                stickiness=stickiness,
+                                subscribers=dirty,
+                                dedup=True,
+                                cache=cache,
+                                stats=stats.engine,
+                            )
+                        )
+                else:
+                    with span(obs_names.SPAN_KMR_KNAPSACK):
+                        requests = knapsack_step(
+                            problem,
+                            feasible=feasible,
+                            granularity=cfg.granularity_kbps,
+                            exhaustive=cfg.exhaustive_step1,
+                            incumbent=inc_map,
+                            stickiness=stickiness,
+                            dedup=use_engine,
+                            cache=cache,
+                            stats=stats.engine if use_engine else None,
+                        )
                 t1 = time.perf_counter()
                 with span(obs_names.SPAN_KMR_MERGE):
                     policies = merge_step(problem, requests)

@@ -32,6 +32,13 @@ KMR_SOLVE_SECONDS = "repro_kmr_solve_seconds"
 KMR_REDUCTIONS = "repro_kmr_reductions_total"
 #: Counter, label ``reason`` in {"solved", "iteration_cap"} — how solves end.
 KMR_CONVERGENCE = "repro_kmr_convergence_total"
+#: Counter — subscriber re-solves skipped by the dirty-set (incremental
+#: Step 1 reused the previous iteration's requests for clean subscribers).
+KMR_STEP1_SKIPPED = "repro_kmr_step1_skipped_total"
+#: Histogram — dirty-set size per incremental iteration (subscribers
+#: re-solved after a reduction; the full-subscriber first iteration is
+#: not observed).
+KMR_DIRTY_SET_SIZE = "repro_kmr_dirty_set_size"
 
 # --------------------------------------------------------------------- #
 # MCKP dynamic program (repro.core.mckp)
@@ -46,6 +53,21 @@ MCKP_TABLE_CELLS = "repro_mckp_dp_table_cells"
 MCKP_GRID_SLACK_KBPS = "repro_mckp_grid_slack_kbps"
 
 # --------------------------------------------------------------------- #
+# Incremental solve engine (repro.core.engine)
+# --------------------------------------------------------------------- #
+
+#: Counter, label ``result`` in {"hit", "miss"} — process-wide MCKP
+#: instance-cache lookups.
+MCKP_CACHE = "repro_mckp_cache_total"
+#: Counter — LRU evictions from the MCKP instance cache.
+MCKP_CACHE_EVICTIONS = "repro_mckp_cache_evictions_total"
+#: Gauge — solutions currently retained by the MCKP instance cache.
+MCKP_CACHE_ENTRIES = "repro_mckp_cache_entries"
+#: Counter — subscriber instances answered by another subscriber's solve
+#: within the same knapsack step (intra-iteration dedup).
+MCKP_INSTANCES_DEDUPED = "repro_mckp_instances_deduped_total"
+
+# --------------------------------------------------------------------- #
 # Spans (repro.obs.spans)
 # --------------------------------------------------------------------- #
 
@@ -56,6 +78,7 @@ SPAN_SECONDS = "repro_span_seconds"
 #: :data:`SPAN_SECONDS`).
 SPAN_KMR_SOLVE = "kmr.solve"
 SPAN_KMR_KNAPSACK = "kmr.knapsack"
+SPAN_KMR_KNAPSACK_DIRTY = "kmr.knapsack_dirty"
 SPAN_KMR_MERGE = "kmr.merge"
 SPAN_KMR_REDUCTION = "kmr.reduction"
 SPAN_CONTROLLER_TICK = "controller.tick"
@@ -223,9 +246,15 @@ ALL_METRICS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     KMR_SOLVE_SECONDS: ("histogram", ()),
     KMR_REDUCTIONS: ("counter", ()),
     KMR_CONVERGENCE: ("counter", ("reason",)),
+    KMR_STEP1_SKIPPED: ("counter", ()),
+    KMR_DIRTY_SET_SIZE: ("histogram", ()),
     MCKP_SOLVES: ("counter", ()),
     MCKP_TABLE_CELLS: ("histogram", ()),
     MCKP_GRID_SLACK_KBPS: ("histogram", ()),
+    MCKP_CACHE: ("counter", ("result",)),
+    MCKP_CACHE_EVICTIONS: ("counter", ()),
+    MCKP_CACHE_ENTRIES: ("gauge", ()),
+    MCKP_INSTANCES_DEDUPED: ("counter", ()),
     SPAN_SECONDS: ("histogram", ("span",)),
     CONTROLLER_SOLVES: ("counter", ()),
     CONTROLLER_TICK_SECONDS: ("histogram", ()),
@@ -273,6 +302,7 @@ ALL_METRICS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
 ALL_SPANS: Tuple[str, ...] = (
     SPAN_KMR_SOLVE,
     SPAN_KMR_KNAPSACK,
+    SPAN_KMR_KNAPSACK_DIRTY,
     SPAN_KMR_MERGE,
     SPAN_KMR_REDUCTION,
     SPAN_CONTROLLER_TICK,

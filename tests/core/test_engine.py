@@ -1,0 +1,138 @@
+"""Unit tests for the incremental solve engine's building blocks."""
+
+import pytest
+
+from repro.core.engine import (
+    EngineStats,
+    MckpInstanceCache,
+    instance_key,
+)
+from repro.core.mckp import MckpSolution, solve_mckp_dp
+from repro.obs import enabled_registry
+from repro.obs import names as obs_names
+
+
+CLASSES = ((((100, 1.0), (200, 2.0)),), (((100, 1.0),), ((300, 3.0),)))
+
+
+class TestInstanceKey:
+    def test_same_instance_same_key(self):
+        a = instance_key(CLASSES[0], 500, 1)
+        b = instance_key(CLASSES[0], 500, 1)
+        assert a == b and hash(a) == hash(b)
+
+    def test_distinct_classes_distinct_keys(self):
+        assert instance_key(CLASSES[0], 500, 1) != instance_key(
+            CLASSES[1], 500, 1
+        )
+
+    def test_granularity_distinguishes(self):
+        assert instance_key(CLASSES[0], 500, 1) != instance_key(
+            CLASSES[0], 500, 25
+        )
+
+    def test_capacity_bucketing_shares_within_granularity(self):
+        # The DP only sees capacity // granularity slots, so capacities
+        # in the same bucket must collide onto one key...
+        assert instance_key(CLASSES[0], 500, 25) == instance_key(
+            CLASSES[0], 524, 25
+        )
+        # ...and the next bucket must not.
+        assert instance_key(CLASSES[0], 500, 25) != instance_key(
+            CLASSES[0], 525, 25
+        )
+
+    def test_bucketed_solution_is_a_legal_replay(self):
+        # The heart of the equivalence argument: for every capacity in a
+        # bucket, the DP returns the identical solution, and its true
+        # weight respects the *smallest* capacity of the bucket.
+        classes = [[(99, 10.0), (51, 6.0)], [(52, 5.0)]]
+        sols = [
+            solve_mckp_dp(classes, cap, granularity=50)
+            for cap in (150, 151, 173, 199)
+        ]
+        assert all(s.picks == sols[0].picks for s in sols)
+        assert sols[0].total_weight <= 150
+
+    def test_accepts_list_input(self):
+        assert instance_key(list(CLASSES[0]), 500, 1) == instance_key(
+            CLASSES[0], 500, 1
+        )
+
+
+class TestMckpInstanceCache:
+    def test_get_miss_then_hit(self):
+        cache = MckpInstanceCache(capacity=4)
+        key = instance_key(CLASSES[0], 500, 1)
+        assert cache.get(key) is None
+        sol = MckpSolution(picks=(1,), total_value=2.0, total_weight=200)
+        cache.put(key, sol)
+        assert cache.get(key) is sol
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = MckpInstanceCache(capacity=2)
+        keys = [instance_key(CLASSES[0], cap, 1) for cap in (1, 2, 3)]
+        sol = MckpSolution(picks=(None,), total_value=0.0, total_weight=0)
+        cache.put(keys[0], sol)
+        cache.put(keys[1], sol)
+        cache.get(keys[0])  # refresh 0; 1 becomes LRU
+        cache.put(keys[2], sol)  # evicts 1
+        assert keys[0] in cache and keys[2] in cache
+        assert keys[1] not in cache
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_clear_keeps_stats(self):
+        cache = MckpInstanceCache(capacity=4)
+        key = instance_key(CLASSES[0], 500, 1)
+        sol = MckpSolution(picks=(0,), total_value=1.0, total_weight=100)
+        cache.put(key, sol)
+        cache.get(key)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(key) is None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_snapshot_shape(self):
+        cache = MckpInstanceCache(capacity=8)
+        snap = cache.snapshot()
+        assert snap == {
+            "entries": 0,
+            "capacity": 8,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "hit_rate": 0.0,
+        }
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MckpInstanceCache(capacity=0)
+
+    def test_metrics_emitted_when_registry_enabled(self):
+        cache = MckpInstanceCache(capacity=1)
+        keys = [instance_key(CLASSES[0], cap, 1) for cap in (1, 2)]
+        sol = MckpSolution(picks=(None,), total_value=0.0, total_weight=0)
+        with enabled_registry() as reg:
+            cache.get(keys[0])
+            cache.put(keys[0], sol)
+            cache.get(keys[0])
+            cache.put(keys[1], sol)  # evicts keys[0]
+            snap = reg.snapshot()
+        counters = snap["counters"]
+        assert counters[obs_names.MCKP_CACHE + '{result="miss"}'] == 1
+        assert counters[obs_names.MCKP_CACHE + '{result="hit"}'] == 1
+        assert counters[obs_names.MCKP_CACHE_EVICTIONS] == 1
+        assert snap["gauges"][obs_names.MCKP_CACHE_ENTRIES] == 1
+
+
+class TestEngineStats:
+    def test_dp_solves_avoided_sums_all_layers(self):
+        stats = EngineStats(
+            step1_solved=10, step1_skipped=5, deduped=3, cache_hits=2
+        )
+        assert stats.dp_solves_avoided == 10

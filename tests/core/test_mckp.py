@@ -7,6 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.mckp import (
+    _solve_mckp_dp_mandatory_python,
     _solve_mckp_dp_python,
     solve_mckp_dp,
     solve_mckp_dp_mandatory,
@@ -170,6 +171,87 @@ class TestMandatory:
             else:
                 assert dp is not None
                 assert dp.total_value == pytest.approx(best)
+
+
+class TestMandatoryPythonReferenceParity:
+    """The mandatory-pick variant against its pure-Python oracle.
+
+    The oracle mirrors the vectorized solver decision-for-decision, so
+    the comparison is on *picks*, not just objective values.
+    """
+
+    def test_numpy_and_python_paths_agree_exactly(self):
+        rng = random.Random(17)
+        for _ in range(60):
+            classes = [
+                [
+                    (rng.randint(1, 60), rng.random() * 100)
+                    for _ in range(rng.randint(1, 5))
+                ]
+                for _ in range(rng.randint(0, 4))
+            ]
+            cap = rng.randint(0, 200)
+            g = rng.choice([1, 1, 7, 25])
+            a = solve_mckp_dp_mandatory(classes, cap, granularity=g)
+            b = _solve_mckp_dp_mandatory_python(classes, cap, granularity=g)
+            if a is None or b is None:
+                assert a is None and b is None
+            else:
+                assert a.picks == b.picks
+                assert a.total_value == pytest.approx(b.total_value)
+                assert a.total_weight == b.total_weight
+
+    def test_duplicate_values_same_tiebreak(self):
+        # Equal-value items force the argmax tie rule to decide; both
+        # implementations must pick the same column.
+        classes = [[(4, 5.0), (6, 5.0)], [(4, 5.0), (2, 5.0)]]
+        for cap in range(0, 14):
+            a = solve_mckp_dp_mandatory(classes, cap)
+            b = _solve_mckp_dp_mandatory_python(classes, cap)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.picks == b.picks
+
+    def test_empty_class_infeasible_both(self):
+        classes = [[(1, 1.0)], []]
+        assert solve_mckp_dp_mandatory(classes, 10) is None
+        assert _solve_mckp_dp_mandatory_python(classes, 10) is None
+
+    def test_no_classes_trivially_solved_both(self):
+        for cap in (0, 10):
+            a = solve_mckp_dp_mandatory([], cap)
+            b = _solve_mckp_dp_mandatory_python([], cap)
+            assert a is not None and b is not None
+            assert a.picks == b.picks == ()
+
+    def test_grid_weight_exceeds_slots_for_all_items(self):
+        # capacity // granularity = 2 slots but every item rounds up to
+        # >= 3 slots: no item fits, mandatory pick impossible.
+        classes = [[(101, 5.0), (120, 9.0)]]
+        assert solve_mckp_dp_mandatory(classes, 100, granularity=50) is None
+        assert (
+            _solve_mckp_dp_mandatory_python(classes, 100, granularity=50)
+            is None
+        )
+
+    def test_capacity_zero_with_classes_is_infeasible(self):
+        classes = [[(1, 1.0)]]
+        assert solve_mckp_dp_mandatory(classes, 0) is None
+        assert _solve_mckp_dp_mandatory_python(classes, 0) is None
+
+    def test_exact_fit_on_grid_boundary(self):
+        # total_weight == capacity must be accepted, one unit over must
+        # not — exercised through both implementations.
+        classes = [[(50, 1.0)], [(50, 2.0)]]
+        for cap, feasible in ((100, True), (99, False)):
+            a = solve_mckp_dp_mandatory(classes, cap)
+            b = _solve_mckp_dp_mandatory_python(classes, cap)
+            assert (a is not None) == feasible
+            assert (b is not None) == feasible
+
+    def test_oracle_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            _solve_mckp_dp_mandatory_python([[(1, 1.0)]], 5, granularity=0)
 
 
 # --------------------------------------------------------------------- #

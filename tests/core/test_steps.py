@@ -87,6 +87,72 @@ class TestKnapsackStep:
         assert requests["P0"].resolution < Resolution.P720
 
 
+class TestEdgeOrdering:
+    """The cached Step-1 class order and its Table-1 tie-break."""
+
+    def tie_problem(self):
+        # At 1400 kbps downlink, the assignments A@1000+B@400 and
+        # A@600+B@800 tie at total QoE 10 AND total weight 1400 — the
+        # DP's smallest-column rule cannot separate them, so the class
+        # order must: the higher-capped edge A (the 720p speaker tile)
+        # receives the larger stream, the ordering Table 1 exhibits.
+        ladder_a = [
+            spec(1000, Resolution.P720, qoe=8.0),
+            spec(600, Resolution.P360, qoe=4.0),
+        ]
+        ladder_b = [
+            spec(800, Resolution.P360, qoe=6.0),
+            spec(400, Resolution.P180, qoe=2.0),
+        ]
+        return Problem(
+            feasible_streams={"A": ladder_a, "B": ladder_b},
+            bandwidth={
+                "sub": Bandwidth(5000, 1400),
+                "A": Bandwidth(5000, 5000),
+                "B": Bandwidth(5000, 5000),
+            },
+            subscriptions=[
+                Subscription("sub", "A", Resolution.P720),
+                Subscription("sub", "B", Resolution.P360),
+            ],
+        )
+
+    def test_ordered_followed_by_sorts_by_cap_then_publisher(self):
+        p = self.tie_problem()
+        order = [e.publisher for e in p.ordered_followed_by("sub")]
+        assert order == ["B", "A"]  # ascending cap: P360 first
+
+    def test_ordered_followed_by_is_cached(self):
+        p = self.tie_problem()
+        assert p.ordered_followed_by("sub") is p.ordered_followed_by("sub")
+
+    def test_ordered_followed_by_matches_legacy_sort(self):
+        p = star_problem(1000, n_pubs=5)
+        legacy = sorted(
+            p.followed_by("sub"),
+            key=lambda e: (e.max_resolution, e.publisher),
+        )
+        assert list(p.ordered_followed_by("sub")) == legacy
+
+    def test_table1_tiebreak_prefers_high_cap_edge(self):
+        p = self.tie_problem()
+        requests = solve_subscriber(p, "sub")
+        assert requests["A"].bitrate_kbps == 1000
+        assert requests["A"].resolution == Resolution.P720
+        assert requests["B"].bitrate_kbps == 400
+
+    def test_tiebreak_preserved_on_memoized_path(self):
+        from repro.core.engine import MckpInstanceCache
+
+        p = self.tie_problem()
+        direct = knapsack_step(p)
+        memoized = knapsack_step(
+            p, dedup=True, cache=MckpInstanceCache(capacity=16)
+        )
+        assert direct == memoized
+        assert memoized["sub"]["A"].resolution == Resolution.P720
+
+
 class TestMergeStep:
     def test_same_resolution_requests_merge_to_min(self):
         asked = [
