@@ -95,7 +95,13 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         },
         subscriptions=subscriptions,
     )
-    solver = GsoSolver(SolverConfig(granularity_kbps=args.granularity))
+    try:
+        config = SolverConfig(granularity_kbps=args.granularity)
+    except ValueError as exc:
+        # e.g. an unknown REPRO_KERNEL value reaching default_kernel()
+        print(f"repro solve: {exc}", file=sys.stderr)
+        return 2
+    solver = GsoSolver(config)
     solution, stats = solver.solve_with_stats(problem)
     solution.validate(problem)
     print(solution.summary())
@@ -113,19 +119,27 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         f"process cache {cache['entries']}/{cache['capacity']} entries, "
         f"hit rate {cache['hit_rate']:.2f})"
     )
+    print(
+        f"(kernel: {stats.kernel}, "
+        f"{eng.batched_solves} batched solve(s) in {eng.batches} batch(es))"
+    )
     return 0
 
 
 def _cmd_meeting(args: argparse.Namespace) -> int:
     for mode in args.modes:
-        spec = MeetingSpec(
-            clients=list(args.clients),
-            mode=mode,
-            duration_s=args.duration,
-            warmup_s=args.warmup,
-            seed=args.seed,
-        )
-        report = run_meeting(spec)
+        try:
+            spec = MeetingSpec(
+                clients=list(args.clients),
+                mode=mode,
+                duration_s=args.duration,
+                warmup_s=args.warmup,
+                seed=args.seed,
+            )
+            report = run_meeting(spec)
+        except ValueError as exc:
+            print(f"repro meeting: {exc}", file=sys.stderr)
+            return 2
         print(f"\n=== {mode} ===")
         print(
             f"framerate={report.mean_framerate():.1f}fps  "
@@ -145,7 +159,11 @@ def _cmd_meeting(args: argparse.Namespace) -> int:
 def _cmd_rollout(args: argparse.Namespace) -> int:
     from .deploy import DeploymentSimulation
 
-    sim = DeploymentSimulation(conferences_per_day=args.conferences)
+    try:
+        sim = DeploymentSimulation(conferences_per_day=args.conferences)
+    except ValueError as exc:
+        print(f"repro rollout: {exc}", file=sys.stderr)
+        return 2
     day = dt.date.fromisoformat(args.start)
     end = dt.date.fromisoformat(args.end)
     if end < day:
@@ -317,6 +335,10 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    except ValueError as exc:
+        # e.g. an unknown REPRO_KERNEL value reaching default_kernel()
+        print(f"repro chaos: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         print(report.to_json())
     else:
@@ -481,6 +503,9 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    except ValueError as exc:
+        print(f"repro obs: {exc}", file=sys.stderr)
+        return 2
     if args.events_out:
         path = runner.events.write_jsonl(args.events_out)
         print(
@@ -539,6 +564,9 @@ def _cmd_obs_timeline(args: argparse.Namespace) -> int:
             runner, _, _ = _run_obs_scenario(args)
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"repro obs: {exc}", file=sys.stderr)
             return 2
         events = runner.events.events
         title = (

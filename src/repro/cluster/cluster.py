@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..control.failover import single_stream_fallback
 from ..core.constraints import Problem
 from ..core.engine import default_mckp_cache
+from ..core.mckp import kernel_stats
 from ..core.solution import Solution
 from ..core.solver import SolverConfig
 from ..obs import events as obs_events
@@ -708,6 +709,8 @@ class ControllerCluster:
             "shards": shards,
             "cache": cache,
             "mckp_cache": default_mckp_cache().snapshot(),
+            "kernel": self.config.solver.kernel,
+            "mckp_kernel": kernel_stats().snapshot(),
         }
 
     def close(self) -> None:

@@ -22,8 +22,12 @@ from .explain import ExplainedSolve, explain_solve
 from .hysteresis import UpgradeDamper
 from .ladder import coarse_ladder, make_ladder, paper_ladder, qoe_utility, scale_qoe
 from .mckp import (
+    KERNELS,
     MckpSolution,
+    default_kernel,
+    kernel_stats,
     solve_mckp_dp,
+    solve_mckp_dp_batch,
     solve_mckp_dp_mandatory,
     solve_mckp_exhaustive,
 )
@@ -47,6 +51,7 @@ __all__ = [
     "DualSubscription",
     "EngineStats",
     "GsoSolver",
+    "KERNELS",
     "MckpInstanceCache",
     "MckpSolution",
     "PAPER_RESOLUTIONS",
@@ -67,8 +72,10 @@ __all__ = [
     "ExplainedSolve",
     "explain_solve",
     "coarse_ladder",
+    "default_kernel",
     "default_mckp_cache",
     "instance_key",
+    "kernel_stats",
     "make_ladder",
     "paper_ladder",
     "qoe_utility",
@@ -76,6 +83,7 @@ __all__ = [
     "screen_id",
     "solve",
     "solve_mckp_dp",
+    "solve_mckp_dp_batch",
     "solve_mckp_dp_mandatory",
     "solve_mckp_exhaustive",
     "verify_small_stream_protection",

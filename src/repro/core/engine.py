@@ -84,6 +84,11 @@ class EngineStats:
             solve within the same knapsack step.
         cache_hits: instances answered by the process-wide LRU cache.
         cache_misses: instances that actually ran the DP.
+        batched_solves: cache-miss instances solved through the batched
+            kernel entry point (``solve_mckp_dp_batch``); at most
+            ``cache_misses``.
+        batches: batched-solve calls issued (one per knapsack step that
+            had any cache miss).
     """
 
     step1_solved: int = 0
@@ -91,6 +96,8 @@ class EngineStats:
     deduped: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    batched_solves: int = 0
+    batches: int = 0
 
     @property
     def dp_solves_avoided(self) -> int:

@@ -20,6 +20,10 @@ Two execution paths produce byte-identical requests:
   :class:`~repro.core.engine.MckpInstanceCache`, and fans the picks out to
   every subscriber sharing the instance.  In homogeneous meetings (Fig. 6c
   gallery view) hundreds of subscribers collapse onto a handful of DPs.
+  The instances that survive both layers (the step's cache misses — the
+  dirty subscribers of one reduction with genuinely new instances) are
+  solved in **one batched kernel call** (:func:`solve_mckp_dp_batch`)
+  over a common capacity grid.
 """
 
 from __future__ import annotations
@@ -30,7 +34,13 @@ from ..obs import names as obs_names
 from ..obs.registry import get_registry
 from .constraints import Problem, Subscription
 from .engine import EngineStats, InstanceKey, MckpInstanceCache, instance_key
-from .mckp import Item, solve_mckp_dp, solve_mckp_exhaustive
+from .mckp import (
+    Item,
+    MckpSolution,
+    solve_mckp_dp,
+    solve_mckp_dp_batch,
+    solve_mckp_exhaustive,
+)
 from .types import ClientId, Resolution, StreamSpec
 
 #: Step-1 output: per subscriber, per followed publisher, the requested stream.
@@ -161,6 +171,7 @@ def solve_subscriber(
     exhaustive: bool = False,
     incumbent: Optional[Incumbent] = None,
     stickiness: float = 0.0,
+    kernel: Optional[str] = None,
 ) -> Dict[ClientId, StreamSpec]:
     """Solve Eq. 1-4 for one subscriber.
 
@@ -177,6 +188,8 @@ def solve_subscriber(
         stickiness: relative QoE bonus applied to items whose resolution
             matches the incumbent assignment of their edge (switch
             damping; 0 disables).
+        kernel: DP execution kernel (see :func:`repro.core.mckp.KERNELS`);
+            ``None`` uses the process default.
 
     Returns:
         The requested streams ``D_i'`` as a publisher -> stream mapping.
@@ -191,7 +204,9 @@ def solve_subscriber(
     if exhaustive:
         result = solve_mckp_exhaustive(classes, capacity)
     else:
-        result = solve_mckp_dp(classes, capacity, granularity=granularity)
+        result = solve_mckp_dp(
+            classes, capacity, granularity=granularity, kernel=kernel
+        )
     return _fan_out(instance, result.picks)
 
 
@@ -206,6 +221,7 @@ def knapsack_step(
     dedup: bool = False,
     cache: Optional[MckpInstanceCache] = None,
     stats: Optional[EngineStats] = None,
+    kernel: Optional[str] = None,
 ) -> Requests:
     """Run Step 1 for every subscriber (the |I| independent knapsacks).
 
@@ -217,10 +233,12 @@ def knapsack_step(
         cache: optional process-wide instance cache consulted before the
             DP on the memoized path.
         stats: optional per-solve accounting filled by the memoized path.
+        kernel: DP execution kernel (see :func:`repro.core.mckp.KERNELS`);
+            ``None`` uses the process default.
 
     Returns the request map ``{subscriber: D_i'}`` for the selected
     subscribers.  Subscribers with no fulfillable request map to an empty
-    dict.  Both paths return byte-identical requests for identical inputs.
+    dict.  All paths return byte-identical requests for identical inputs.
     """
     subs = problem.subscribers if subscribers is None else list(subscribers)
     if exhaustive or (not dedup and cache is None):
@@ -233,44 +251,73 @@ def knapsack_step(
                 exhaustive=exhaustive,
                 incumbent=incumbent,
                 stickiness=stickiness,
+                kernel=kernel,
             )
             for sub in subs
         }
 
+    # The memoized path runs in three passes so the step's cache misses
+    # can share one batched kernel call:
+    #   1. classify every subscriber's instance (step memo / cache / miss),
+    #   2. batch-solve the misses on a common capacity grid,
+    #   3. fan results out in the original subscriber order (the request
+    #      map's insertion order is part of the byte-identity contract).
     edge_cache: _EdgeClasses = {}
-    step_memo: Dict[InstanceKey, "object"] = {}
-    requests: Requests = {}
+    step_memo: Dict[InstanceKey, Optional[MckpSolution]] = {}
+    #: per sub: (instance, key) — or None when the sub has no instance.
+    plan: List[Optional[Tuple[_Instance, InstanceKey]]] = []
+    pending: List[Tuple[InstanceKey, _Instance]] = []  # misses, first-seen
     deduped = hits = misses = 0
     for sub in subs:
         instance = _subscriber_instance(
             problem, sub, feasible, incumbent, stickiness, edge_cache
         )
         if instance is None:
-            requests[sub] = {}
+            plan.append(None)
             continue
         classes, _, _, capacity = instance
         key = instance_key(classes, capacity, granularity)
-        solution = step_memo.get(key)
+        plan.append((instance, key))
+        if key in step_memo:
+            deduped += 1  # answered by an earlier sub of this step
+            continue
+        solution = cache.get(key) if cache is not None else None
         if solution is not None:
-            deduped += 1
-        else:
-            solution = cache.get(key) if cache is not None else None
-            if solution is not None:
-                hits += 1
-            else:
-                solution = solve_mckp_dp(
-                    classes, capacity, granularity=granularity
-                )
-                misses += 1
-                if cache is not None:
-                    cache.put(key, solution)
+            hits += 1
             step_memo[key] = solution
+        else:
+            misses += 1
+            step_memo[key] = None  # placeholder: solved by the batch below
+            pending.append((key, instance))
+
+    if pending:
+        solutions = solve_mckp_dp_batch(
+            [(inst[0], inst[3]) for _, inst in pending],
+            granularity=granularity,
+            kernel=kernel,
+        )
+        for (key, _), solution in zip(pending, solutions):
+            step_memo[key] = solution
+            if cache is not None:
+                cache.put(key, solution)
+
+    requests: Requests = {}
+    for sub, entry in zip(subs, plan):
+        if entry is None:
+            requests[sub] = {}
+            continue
+        instance, key = entry
+        solution = step_memo[key]
+        assert solution is not None  # every pending key was batch-solved
         requests[sub] = _fan_out(instance, solution.picks)
+
     if stats is not None:
         stats.step1_solved += len(subs)
         stats.deduped += deduped
         stats.cache_hits += hits
         stats.cache_misses += misses
+        stats.batched_solves += len(pending)
+        stats.batches += 1 if pending else 0
     if deduped:
         reg = get_registry()
         if reg.enabled:

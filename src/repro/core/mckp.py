@@ -6,31 +6,52 @@ downlink to an MCKP instance: the downlink is a knapsack with capacity
 edge-feasible streams ``S_ii'``); an item's weight is the stream bitrate and
 its value the QoE utility; at most one item may be taken per class.
 
-Three solvers are provided:
+The module is organized as a small **kernel registry** (see
+``docs/SOLVER.md``).  Every public solver is a dispatcher that picks an
+execution kernel:
+
+* ``kernel="numpy"`` (the default) — array-based dynamic programming: one
+  stacked candidate matrix per class (one row per item plus the skip row),
+  reduced with a single ``max``/``argmax`` over the shared capacity grid.
+  No per-capacity Python loops anywhere.
+* ``kernel="python"`` — the pure-Python reference implementation
+  (:func:`_solve_mckp_dp_python` / :func:`_solve_mckp_dp_mandatory_python`),
+  kept as the **differential oracle**: byte-identical results are enforced
+  by tests, and CI runs the whole tier-1 suite once with
+  ``REPRO_KERNEL=python`` so the oracle path stays exercised.
+
+The default kernel comes from the ``REPRO_KERNEL`` environment variable
+(falling back to ``"numpy"``); ``SolverConfig.kernel`` threads an explicit
+choice through the solver stack.
+
+Public solvers:
 
 * :func:`solve_mckp_dp` — the production path: dynamic programming over a
   discretized capacity grid, pseudo-polynomial ``O(C/g * total_items)`` where
   ``g`` is the grid granularity.  With ``g = 1`` (kbps) the solution is
-  exact; coarser grids trade a bounded optimality loss for speed.  The
-  capacity dimension is vectorized with numpy so large meetings (Fig. 6c:
-  400 subscribers x 18 bitrates) solve in real time.
+  exact; coarser grids trade a bounded optimality loss for speed.
 * :func:`solve_mckp_dp_mandatory` — the variant where exactly one item must
   be taken per class; used by Step 3's uplink fix (Eq. 16), where policy
   entries may be lowered but not dropped.
+* :func:`solve_mckp_dp_batch` — solve many instances at once by sharing DP
+  tables over a **common capacity grid**: instances with the same class
+  structure (same item tuples, any capacity) are answered by one DP sweep
+  sized for the largest capacity, each member backtracking from its own
+  grid column.  ``repro.core.knapsack`` routes the cache-miss instances of
+  one knapsack step (all dirty subscribers of the solve) through this
+  entry point.
 * :func:`solve_mckp_exhaustive` — exact enumeration of the
   ``prod(|class|+1)`` combinations.  Exponential; this is the brute-force
   comparator of Fig. 6 and the test oracle.
-
-A pure-Python DP (:func:`_solve_mckp_dp_python`) is kept for differential
-testing of the vectorized path.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,6 +67,72 @@ NO_PICK: Optional[int] = None
 
 #: Sentinel used in the integer choice tables.
 _NO_CHOICE = -1
+
+#: The registered DP execution kernels, in documentation order.
+KERNELS: Tuple[str, ...] = ("numpy", "python")
+
+#: Environment variable that selects the process-default kernel.
+KERNEL_ENV = "REPRO_KERNEL"
+
+_NEG_INF = float("-inf")
+
+
+def default_kernel() -> str:
+    """The process-default kernel: ``$REPRO_KERNEL`` or ``"numpy"``.
+
+    Read per call (not cached) so tests and operators can flip the oracle
+    path on without re-importing the module.
+    """
+    kernel = os.environ.get(KERNEL_ENV, "numpy")
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"{KERNEL_ENV}={kernel!r} is not a known MCKP kernel; "
+            f"expected one of {KERNELS}"
+        )
+    return kernel
+
+
+def _resolve_kernel(kernel: Optional[str]) -> str:
+    if kernel is None:
+        return default_kernel()
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown MCKP kernel {kernel!r}; expected one of {KERNELS}"
+        )
+    return kernel
+
+
+class KernelStats:
+    """Process-wide kernel usage counters (always on, unlike the metrics
+    registry): solves per kernel, plus batched-entry-point accounting.
+    ``repro solve`` and ``cluster stats`` report this snapshot."""
+
+    def __init__(self) -> None:
+        self.solves: Dict[str, int] = {k: 0 for k in KERNELS}
+        self.batch_calls = 0
+        self.batched_instances = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly view of the counters."""
+        return {
+            "solves": dict(self.solves),
+            "batch_calls": self.batch_calls,
+            "batched_instances": self.batched_instances,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (test isolation)."""
+        self.solves = {k: 0 for k in KERNELS}
+        self.batch_calls = 0
+        self.batched_instances = 0
+
+
+_KERNEL_STATS = KernelStats()
+
+
+def kernel_stats() -> KernelStats:
+    """The process-wide :class:`KernelStats` singleton."""
+    return _KERNEL_STATS
 
 
 @dataclass(frozen=True)
@@ -79,6 +166,11 @@ def _validate(classes: Sequence[Sequence[Item]], capacity: int) -> None:
                 )
 
 
+def _check_granularity(granularity: int) -> None:
+    if granularity < 1:
+        raise ValueError(f"granularity must be >= 1, got {granularity}")
+
+
 def _grid_weight(weight: int, granularity: int) -> int:
     """Item weight on the capacity grid, rounded up (never under-counts)."""
     return max(1, -(-weight // granularity))
@@ -100,41 +192,56 @@ def _class_grid_weights(
 class _DpWorkspace(threading.local):
     """Reusable DP buffers, grown geometrically and shared across solves.
 
-    The vectorized DP allocates three arrays per solve (two value rows
-    and the choice table); at fleet rates that is allocator traffic on
-    the hottest path in the process.  One workspace per thread hands out
-    right-sized views over persistent buffers instead.  Thread-local so
-    concurrent solver threads never alias each other's tables.
+    The array kernels allocate three buffers per solve (the value row, the
+    stacked candidate matrix, and the choice table); at fleet rates that is
+    allocator traffic on the hottest path in the process.  One workspace
+    per thread hands out right-sized views over persistent buffers instead.
+    Thread-local so concurrent solver threads never alias each other's
+    tables.
     """
 
     def __init__(self) -> None:
-        self._value_a = np.zeros(0, dtype=np.float64)
-        self._value_b = np.zeros(0, dtype=np.float64)
+        self._value = np.zeros(0, dtype=np.float64)
+        self._stack = np.zeros((0, 0), dtype=np.float64)
         self._choices = np.full((0, 0), _NO_CHOICE, dtype=np.int32)
 
     def arrays(
-        self, n_classes: int, slots: int
+        self, n_classes: int, max_items: int, slots: int
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Views ``(best, scratch, choices)`` initialized for one solve:
-        ``best`` zeroed, ``choices`` filled with the no-choice sentinel."""
+        """Views ``(value, stack, choices)`` for one solve; the caller
+        initializes ``value`` and fills stack rows per class sweep.
+        ``choices`` comes pre-filled with the no-choice sentinel."""
         width = slots + 1
-        if self._value_a.shape[0] < width:
-            size = max(width, 2 * self._value_a.shape[0])
-            self._value_a = np.zeros(size, dtype=np.float64)
-            self._value_b = np.zeros(size, dtype=np.float64)
+        rows = max_items + 1  # one row per item plus the skip row
+        if self._value.shape[0] < width:
+            self._value = np.zeros(
+                max(width, 2 * self._value.shape[0]), dtype=np.float64
+            )
+        if self._stack.shape[0] < rows or self._stack.shape[1] < width:
+            self._stack = np.zeros(
+                (
+                    max(rows, 2 * self._stack.shape[0]),
+                    max(width, 2 * self._stack.shape[1]),
+                ),
+                dtype=np.float64,
+            )
         if (
             self._choices.shape[0] < n_classes
             or self._choices.shape[1] < width
         ):
-            rows = max(n_classes, 2 * self._choices.shape[0])
-            cols = max(width, 2 * self._choices.shape[1])
-            self._choices = np.full((rows, cols), _NO_CHOICE, dtype=np.int32)
-        best = self._value_a[:width]
-        scratch = self._value_b[:width]
+            self._choices = np.full(
+                (
+                    max(n_classes, 2 * self._choices.shape[0]),
+                    max(width, 2 * self._choices.shape[1]),
+                ),
+                _NO_CHOICE,
+                dtype=np.int32,
+            )
+        value = self._value[:width]
+        stack = self._stack[:rows, :width]
         choices = self._choices[:n_classes, :width]
-        best.fill(0.0)
         choices.fill(_NO_CHOICE)
-        return best, scratch, choices
+        return value, stack, choices
 
 
 _WORKSPACE = _DpWorkspace()
@@ -159,12 +266,48 @@ def _finish(
     return MckpSolution(tuple(picks), total_value, total_weight)
 
 
+def _emit_solve_obs(reg, kernel: str, n_classes: int, slots: int) -> None:
+    """Per-solve metrics shared by the scalar and batched entry points."""
+    _KERNEL_STATS.solves[kernel] += 1
+    if reg.enabled:
+        reg.counter(obs_names.MCKP_SOLVES).inc()
+        reg.counter(obs_names.MCKP_KERNEL_SOLVES, kernel=kernel).inc()
+        reg.histogram(obs_names.MCKP_TABLE_CELLS).observe(
+            n_classes * (slots + 1)
+        )
+
+
+def _emit_grid_slack(
+    reg,
+    classes: Sequence[Sequence[Item]],
+    granularity: int,
+    grid_weights: Sequence[Sequence[int]],
+    picks: Sequence[Optional[int]],
+) -> None:
+    """Granularity-induced conservatism: capacity consumed by rounding
+    item weights up to the grid, i.e. budget the DP could not use."""
+    if not (reg.enabled and granularity > 1):
+        return
+    slack = sum(
+        grid_weights[ci][idx] * granularity - classes[ci][idx][0]
+        for ci, idx in enumerate(picks)
+        if idx is not None
+    )
+    reg.histogram(obs_names.MCKP_GRID_SLACK_KBPS).observe(slack)
+
+
+# --------------------------------------------------------------------- #
+# Optional-pick DP (Step 1's per-subscriber knapsack)
+# --------------------------------------------------------------------- #
+
+
 def solve_mckp_dp(
     classes: Sequence[Sequence[Item]],
     capacity: int,
     granularity: int = 1,
+    kernel: Optional[str] = None,
 ) -> MckpSolution:
-    """Solve an MCKP instance by dynamic programming (numpy-vectorized).
+    """Solve an MCKP instance by dynamic programming.
 
     The DP table has one row per class and one column per capacity grid
     slot.  Weights are divided by ``granularity`` rounding *up*, so the
@@ -175,57 +318,97 @@ def solve_mckp_dp(
         classes: item classes; at most one item is chosen from each.
         capacity: knapsack capacity in the same (kbps) unit as weights.
         granularity: capacity grid step in kbps.  1 = exact.
+        kernel: execution kernel (``"numpy"`` or ``"python"``); ``None``
+            uses :func:`default_kernel`.  Both kernels return
+            byte-identical solutions.
 
     Returns:
         The optimal (for the discretized instance) :class:`MckpSolution`.
     """
+    kernel = _resolve_kernel(kernel)
     _validate(classes, capacity)
-    if granularity < 1:
-        raise ValueError(f"granularity must be >= 1, got {granularity}")
+    _check_granularity(granularity)
     slots = capacity // granularity
     n = len(classes)
     reg = get_registry()
-    if reg.enabled:
-        reg.counter(obs_names.MCKP_SOLVES).inc()
-        reg.histogram(obs_names.MCKP_TABLE_CELLS).observe(n * (slots + 1))
+    _emit_solve_obs(reg, kernel, n, slots)
     if n == 0 or slots == 0:
         return _empty_solution(n)
-
+    if kernel == "python":
+        return _solve_mckp_dp_python(classes, capacity, granularity)
     grid_weights = [_class_grid_weights(cls, granularity) for cls in classes]
-    best, scratch, choices = _WORKSPACE.arrays(n, slots)
-    for ci, cls in enumerate(classes):
-        np.copyto(scratch, best)  # skipping this class is always allowed
-        row = choices[ci]
-        gws = grid_weights[ci]
-        for idx, (w, v) in enumerate(cls):
-            gw = gws[idx]
-            if gw > slots:
-                continue
-            cand = best[: slots + 1 - gw] + v
-            better = cand > scratch[gw:]
-            scratch[gw:][better] = cand[better]
-            row[gw:][better] = idx
-        best, scratch = scratch, best
+    picks = _dp_optional_numpy(classes, grid_weights, slots)
+    _emit_grid_slack(reg, classes, granularity, grid_weights, picks)
+    return _finish(classes, picks, capacity)
 
-    col = int(np.argmax(best))  # argmax returns the smallest maximizing col
+
+def _dp_optional_table(
+    classes: Sequence[Sequence[Item]],
+    grid_weights: Sequence[Sequence[int]],
+    slots: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The array sweep of the optional-pick DP: per class, one stacked
+    candidate matrix (skip row + one shifted-add row per item) reduced by
+    ``max``/``argmax`` down the item axis.  Returns the final value row
+    and the full choice table (views into the thread workspace, valid
+    until the next solve on this thread).
+
+    ``argmax`` returns the *first* maximizing row, which reproduces the
+    reference tie-break exactly: skipping beats any equal-valued item, and
+    a lower item index beats a higher one (Table 1's deterministic picks).
+
+    The table is reusable across capacities: column ``c`` only ever reads
+    columns ``<= c``, so for any ``s <= slots`` the prefix ``[0..s]`` is
+    exactly the table the DP would have built on an ``s``-slot grid.  The
+    batched entry point exploits this to share one table among instances
+    that differ only in capacity.
+    """
+    n = len(classes)
+    width = slots + 1
+    max_items = max(len(cls) for cls in classes)
+    value, stack, choices = _WORKSPACE.arrays(n, max_items, slots)
+    value.fill(0.0)
+    for ci, cls in enumerate(classes):
+        rows = stack[: len(cls) + 1]
+        rows[0] = value  # skipping this class is always allowed
+        gws = grid_weights[ci]
+        for idx in range(len(cls)):
+            gw = gws[idx]
+            row = rows[idx + 1]
+            row.fill(_NEG_INF)
+            if gw <= slots:
+                np.add(value[: width - gw], cls[idx][1], out=row[gw:])
+        # rows are materialized copies, so reducing straight into `value`
+        # cannot corrupt the candidates being reduced.
+        choices[ci] = rows.argmax(axis=0) - 1  # row 0 (skip) -> _NO_CHOICE
+        rows.max(axis=0, out=value)
+    return value, choices
+
+
+def _dp_optional_numpy(
+    classes: Sequence[Sequence[Item]],
+    grid_weights: Sequence[Sequence[int]],
+    slots: int,
+) -> List[Optional[int]]:
+    value, choices = _dp_optional_table(classes, grid_weights, slots)
+    col = int(np.argmax(value))  # argmax returns the smallest maximizing col
+    return _backtrack_optional(grid_weights, choices, len(classes), col)
+
+
+def _backtrack_optional(
+    grid_weights: Sequence[Sequence[int]],
+    choices,
+    n: int,
+    col: int,
+) -> List[Optional[int]]:
     picks: List[Optional[int]] = [NO_PICK] * n
     for ci in range(n - 1, -1, -1):
         idx = int(choices[ci][col])
         if idx == _NO_CHOICE:
-            picks[ci] = NO_PICK
             continue
         picks[ci] = idx
         col -= grid_weights[ci][idx]
-    if reg.enabled and granularity > 1:
-        # Granularity-induced conservatism: capacity consumed by rounding
-        # item weights up to the grid, i.e. budget the DP could not use.
-        slack = sum(
-            grid_weights[ci][idx] * granularity - classes[ci][idx][0]
-            for ci, idx in enumerate(picks)
-            if idx is not None
-        )
-        reg.histogram(obs_names.MCKP_GRID_SLACK_KBPS).observe(slack)
-    return _finish(classes, picks, capacity)
+    return picks
 
 
 def _solve_mckp_dp_python(
@@ -235,11 +418,11 @@ def _solve_mckp_dp_python(
 ) -> MckpSolution:
     """Pure-Python reference implementation of :func:`solve_mckp_dp`.
 
-    Kept for differential testing; functionally identical, only slower.
+    The differential oracle of the ``"python"`` kernel; functionally
+    identical to the array kernel, only slower.
     """
     _validate(classes, capacity)
-    if granularity < 1:
-        raise ValueError(f"granularity must be >= 1, got {granularity}")
+    _check_granularity(granularity)
     slots = capacity // granularity
     n = len(classes)
     if n == 0 or slots == 0:
@@ -274,10 +457,103 @@ def _solve_mckp_dp_python(
     return _finish(classes, picks, capacity)
 
 
+# --------------------------------------------------------------------- #
+# Batched optional-pick DP (all cache-miss instances of one step)
+# --------------------------------------------------------------------- #
+
+#: One batch entry: ``(classes, capacity)``.
+BatchInstance = Tuple[Sequence[Sequence[Item]], int]
+
+
+def solve_mckp_dp_batch(
+    instances: Sequence[BatchInstance],
+    granularity: int = 1,
+    kernel: Optional[str] = None,
+) -> List[MckpSolution]:
+    """Solve many MCKP instances, sharing DP tables over a common grid.
+
+    Byte-identical to ``[solve_mckp_dp(c, cap, granularity, kernel) for
+    (c, cap) in instances]``.  Instances are grouped by their *class
+    structure* (the exact per-class item tuples): one group runs a
+    **single DP sweep** on a common capacity grid sized by the group's
+    largest slot count, and every member reads its own answer out of the
+    shared table — a DP column only ever depends on lower columns, so the
+    prefix ``[0..slots]`` of the big table is exactly the table the
+    member's own solve would have built, and each member's final
+    ``argmax`` is restricted to its own columns.
+
+    This is the shape the upstream dedup layer cannot collapse: dirty
+    subscribers of one publisher typically share their followed classes
+    and differ only in downlink budget, i.e. same class structure,
+    different capacity bucket — distinct cache keys, one table here.
+
+    ``repro.core.knapsack`` calls this under its dedup layer, so exactly
+    the distinct cache-miss instances of one knapsack step are batched.
+
+    Args:
+        instances: ``(classes, capacity)`` pairs.
+        granularity: shared capacity grid step in kbps.
+        kernel: execution kernel; the ``"python"`` kernel solves the batch
+            instance-by-instance through the oracle.
+
+    Returns:
+        One :class:`MckpSolution` per instance, in input order.
+    """
+    kernel = _resolve_kernel(kernel)
+    _check_granularity(granularity)
+    _KERNEL_STATS.batch_calls += 1
+    _KERNEL_STATS.batched_instances += len(instances)
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter(obs_names.MCKP_BATCHED_SOLVES).inc(len(instances))
+        reg.histogram(obs_names.MCKP_BATCH_SIZE).observe(len(instances))
+    if kernel == "python":
+        return [
+            solve_mckp_dp(classes, capacity, granularity, kernel=kernel)
+            for classes, capacity in instances
+        ]
+
+    results: List[Optional[MckpSolution]] = [None] * len(instances)
+    #: class structure -> indices of the instances that share it.
+    groups: Dict[Tuple[Tuple[Item, ...], ...], List[int]] = {}
+    for i, (classes, capacity) in enumerate(instances):
+        _validate(classes, capacity)
+        slots = capacity // granularity
+        _emit_solve_obs(reg, kernel, len(classes), slots)
+        if len(classes) == 0 or slots == 0:
+            results[i] = _empty_solution(len(classes))
+        else:
+            groups.setdefault(tuple(map(tuple, classes)), []).append(i)
+
+    for idxs in groups.values():
+        classes, _ = instances[idxs[0]]
+        grid_weights = [
+            _class_grid_weights(cls, granularity) for cls in classes
+        ]
+        max_slots = max(instances[i][1] // granularity for i in idxs)
+        value, choices = _dp_optional_table(classes, grid_weights, max_slots)
+        for i in idxs:
+            capacity = instances[i][1]
+            slots = capacity // granularity
+            col = int(np.argmax(value[: slots + 1]))
+            picks = _backtrack_optional(
+                grid_weights, choices, len(classes), col
+            )
+            _emit_grid_slack(reg, classes, granularity, grid_weights, picks)
+            results[i] = _finish(classes, picks, capacity)
+    return results  # type: ignore[return-value]  # every slot is filled
+
+
+# --------------------------------------------------------------------- #
+# Mandatory-pick DP (Step 3's Eq. 16 uplink fix)
+# --------------------------------------------------------------------- #
+
+
 def solve_mckp_dp_mandatory(
     classes: Sequence[Sequence[Item]],
     capacity: int,
     granularity: int = 1,
+    kernel: Optional[str] = None,
 ) -> Optional[MckpSolution]:
     """Solve an MCKP where *exactly one* item must be taken from each class.
 
@@ -285,46 +561,60 @@ def solve_mckp_dp_mandatory(
     the same resolution — entries cannot be dropped during the fix, so the
     knapsack there is the mandatory-pick variant.
 
+    Args:
+        kernel: execution kernel (``"numpy"`` or ``"python"``); ``None``
+            uses :func:`default_kernel`.
+
     Returns:
         The optimal solution, or ``None`` when no feasible combination
         exists (the Eq. 17 test failed).
     """
+    kernel = _resolve_kernel(kernel)
     _validate(classes, capacity)
-    if granularity < 1:
-        raise ValueError(f"granularity must be >= 1, got {granularity}")
+    _check_granularity(granularity)
+    reg = get_registry()
+    _KERNEL_STATS.solves[kernel] += 1
+    if reg.enabled:
+        reg.counter(obs_names.MCKP_KERNEL_SOLVES, kernel=kernel).inc()
+    if kernel == "python":
+        return _solve_mckp_dp_mandatory_python(classes, capacity, granularity)
     if any(len(cls) == 0 for cls in classes):
         return None
     n = len(classes)
     if n == 0:
         return MckpSolution((), 0.0, 0)
     slots = capacity // granularity
+    grid_weights = [_class_grid_weights(cls, granularity) for cls in classes]
 
-    neg = float("-inf")
-    best = np.full(slots + 1, neg, dtype=np.float64)
-    best[0] = 0.0
-    choices = np.full((n, slots + 1), _NO_CHOICE, dtype=np.int32)
+    width = slots + 1
+    max_items = max(len(cls) for cls in classes)
+    value, stack, choices = _WORKSPACE.arrays(n, max_items, slots)
+    value.fill(_NEG_INF)
+    value[0] = 0.0
     for ci, cls in enumerate(classes):
-        new_best = np.full(slots + 1, neg, dtype=np.float64)
-        row = choices[ci]
-        for idx, (w, v) in enumerate(cls):
-            gw = _grid_weight(w, granularity)
-            if gw > slots:
-                continue
-            cand = best[: slots + 1 - gw] + v
-            better = cand > new_best[gw:]
-            new_best[gw:][better] = cand[better]
-            row[gw:][better] = idx
-        best = new_best
+        rows = stack[: len(cls)]  # no skip row: a pick is mandatory
+        gws = grid_weights[ci]
+        for idx in range(len(cls)):
+            gw = gws[idx]
+            row = rows[idx]
+            row.fill(_NEG_INF)
+            if gw <= slots:
+                np.add(value[: width - gw], cls[idx][1], out=row[gw:])
+        am = rows.argmax(axis=0)
+        rows.max(axis=0, out=value)
+        # Columns no item can reach keep the no-choice sentinel, exactly
+        # like the oracle's rows (argmax alone would report item 0 there).
+        choices[ci] = np.where(np.isfinite(value), am, _NO_CHOICE)
 
-    if not np.isfinite(best).any():
+    if not np.isfinite(value).any():
         return None
-    col = int(np.argmax(best))
+    col = int(np.argmax(value))
     picks: List[int] = [0] * n
     for ci in range(n - 1, -1, -1):
         idx = int(choices[ci][col])
         assert idx != _NO_CHOICE, "mandatory DP lost a pick during backtracking"
         picks[ci] = idx
-        col -= _grid_weight(classes[ci][idx][0], granularity)
+        col -= grid_weights[ci][idx]
     total_weight = sum(classes[ci][idx][0] for ci, idx in enumerate(picks))
     total_value = sum(classes[ci][idx][1] for ci, idx in enumerate(picks))
     if total_weight > capacity:
@@ -339,14 +629,13 @@ def _solve_mckp_dp_mandatory_python(
 ) -> Optional[MckpSolution]:
     """Pure-Python reference implementation of :func:`solve_mckp_dp_mandatory`.
 
-    The differential oracle for the vectorized mandatory-pick variant,
-    mirroring it decision-for-decision: the same ``-inf`` infeasibility
-    propagation, the same first-smallest-column argmax tie rule, and the
-    same post-hoc exact-capacity rejection.  Kept for testing only.
+    The differential oracle for the array kernel, mirroring it
+    decision-for-decision: the same ``-inf`` infeasibility propagation,
+    the same first-smallest-column argmax tie rule, and the same post-hoc
+    exact-capacity rejection.
     """
     _validate(classes, capacity)
-    if granularity < 1:
-        raise ValueError(f"granularity must be >= 1, got {granularity}")
+    _check_granularity(granularity)
     if any(len(cls) == 0 for cls in classes):
         return None
     n = len(classes)

@@ -105,6 +105,7 @@ def fix_owner(
     feasible: Mapping[ClientId, Sequence[StreamSpec]],
     budget_kbps: int,
     granularity: int = 1,
+    kernel: Optional[str] = None,
 ) -> Optional[List[Tuple[ClientId, Resolution, PolicyEntry]]]:
     """Apply the Eq. 16 fix: lower entry bitrates until the uplink fits.
 
@@ -112,6 +113,10 @@ def fix_owner(
     bitrate may be replaced by a lower feasible bitrate at the same
     resolution.  Among feasible replacements the QoE-maximal combination is
     chosen.
+
+    Args:
+        kernel: DP execution kernel (see :func:`repro.core.mckp.KERNELS`);
+            ``None`` uses the process default.
 
     Returns:
         The fixed entries, or ``None`` if no feasible replacement exists
@@ -130,7 +135,9 @@ def fix_owner(
         candidates.sort(key=lambda s: s.bitrate_kbps)
         classes.append([(s.bitrate_kbps, s.qoe) for s in candidates])
         class_candidates.append(candidates)
-    result = solve_mckp_dp_mandatory(classes, budget_kbps, granularity=granularity)
+    result = solve_mckp_dp_mandatory(
+        classes, budget_kbps, granularity=granularity, kernel=kernel
+    )
     if result is None:
         return None
     fixed: List[Tuple[ClientId, Resolution, PolicyEntry]] = []
@@ -154,6 +161,7 @@ def reduction_step(
     policies: Policies,
     feasible: Mapping[ClientId, Sequence[StreamSpec]],
     granularity: int = 1,
+    kernel: Optional[str] = None,
 ) -> ReductionOutcome:
     """Run Step 3 over all publishing owners.
 
@@ -178,7 +186,9 @@ def reduction_step(
         if check_uplink(entries, budget):
             accepted = entries
         else:
-            fixed = fix_owner(entries, feasible, budget, granularity=granularity)
+            fixed = fix_owner(
+                entries, feasible, budget, granularity=granularity, kernel=kernel
+            )
             if fixed is None:
                 return ReductionOutcome(reduce=highest_policy_resolution(entries))
             accepted = fixed

@@ -22,12 +22,25 @@ from .constraints import Problem
 from .types import ClientId, Resolution, StreamSpec
 
 
+def _rebuild_policy_entry(stream: StreamSpec, audience: Tuple[ClientId, ...]) -> "PolicyEntry":
+    return PolicyEntry(stream, frozenset(audience))
+
+
 @dataclass(frozen=True)
 class PolicyEntry:
     """One publisher policy ``(M_i^R, s_i^R)``: broadcast ``stream`` to ``audience``."""
 
     stream: StreamSpec
     audience: FrozenSet[ClientId]
+
+    def __reduce__(self):
+        # Frozensets serialize in hash-table iteration order, which
+        # depends on insertion history — equal audiences built in
+        # different processes (e.g. a SolvePool worker vs the parent)
+        # can pickle to different bytes, breaking the byte-identity
+        # contract the test suite and caches rely on.  Canonicalize to
+        # a sorted tuple so equal entries always pickle identically.
+        return (_rebuild_policy_entry, (self.stream, tuple(sorted(self.audience))))
 
     @property
     def resolution(self) -> Resolution:

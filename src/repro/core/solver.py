@@ -29,6 +29,7 @@ from ..obs.spans import span
 from .constraints import Problem
 from .engine import EngineStats, default_mckp_cache
 from .knapsack import Requests, knapsack_step
+from .mckp import KERNELS, default_kernel
 from .merge import merge_step
 from .reduction import reduction_step
 from .solution import PolicyEntry, Solution
@@ -57,6 +58,11 @@ class SolverConfig:
             process-wide MCKP cache.  Byte-identical Solutions either
             way; ``False`` is the escape hatch / differential baseline.
             Ignored (treated as ``False``) under ``exhaustive_step1``.
+        kernel: MCKP DP execution kernel — ``"numpy"`` (the array-based
+            sweeps, the default) or ``"python"`` (the pure-Python
+            differential oracle).  Byte-identical Solutions either way,
+            mirroring ``incremental``.  Defaults to the ``REPRO_KERNEL``
+            environment variable, falling back to ``"numpy"``.
     """
 
     granularity_kbps: int = 1
@@ -64,6 +70,7 @@ class SolverConfig:
     max_iterations: Optional[int] = None
     stickiness: float = 0.10
     incremental: bool = True
+    kernel: str = field(default_factory=default_kernel)
 
     def __post_init__(self) -> None:
         if self.granularity_kbps < 1:
@@ -72,6 +79,10 @@ class SolverConfig:
             raise ValueError("max_iterations must be >= 1")
         if self.stickiness < 0:
             raise ValueError("stickiness must be non-negative")
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"kernel must be one of {KERNELS}, got {self.kernel!r}"
+            )
 
 
 @dataclass
@@ -82,6 +93,7 @@ class SolveStats:
     reductions: List[Tuple[ClientId, Resolution]] = field(default_factory=list)
     wall_time_s: float = 0.0
     engine: EngineStats = field(default_factory=EngineStats)
+    kernel: str = ""
 
 
 def _iteration_bound(problem: Problem) -> int:
@@ -170,7 +182,7 @@ class GsoSolver:
                 argument this indicates a bug, not a hard instance.
         """
         cfg = self.config
-        stats = SolveStats()
+        stats = SolveStats(kernel=cfg.kernel)
         reg = get_registry()
         collector = obs_trace.active_collector()
         trace = (
@@ -225,6 +237,7 @@ class GsoSolver:
                                 dedup=True,
                                 cache=cache,
                                 stats=stats.engine,
+                                kernel=cfg.kernel,
                             )
                         )
                 else:
@@ -239,6 +252,7 @@ class GsoSolver:
                             dedup=use_engine,
                             cache=cache,
                             stats=stats.engine if use_engine else None,
+                            kernel=cfg.kernel,
                         )
                 t1 = time.perf_counter()
                 with span(obs_names.SPAN_KMR_MERGE):
@@ -246,7 +260,11 @@ class GsoSolver:
                 t2 = time.perf_counter()
                 with span(obs_names.SPAN_KMR_REDUCTION):
                     outcome = reduction_step(
-                        problem, policies, feasible, granularity=cfg.granularity_kbps
+                        problem,
+                        policies,
+                        feasible,
+                        granularity=cfg.granularity_kbps,
+                        kernel=cfg.kernel,
                     )
                 t3 = time.perf_counter()
                 if trace is not None:

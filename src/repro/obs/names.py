@@ -51,6 +51,15 @@ MCKP_TABLE_CELLS = "repro_mckp_dp_table_cells"
 #: Histogram — per-solve capacity lost to grid rounding, in kbps
 #: (the granularity-induced conservatism of rounding weights up).
 MCKP_GRID_SLACK_KBPS = "repro_mckp_grid_slack_kbps"
+#: Counter, label ``kernel`` in {"numpy", "python"} — DP solves by the
+#: execution kernel that ran them (see docs/SOLVER.md).
+MCKP_KERNEL_SOLVES = "repro_mckp_kernel_solves_total"
+#: Counter — instances solved through the batched entry point
+#: (``solve_mckp_dp_batch``); a subset of ``repro_mckp_dp_solves_total``.
+MCKP_BATCHED_SOLVES = "repro_mckp_batched_solves_total"
+#: Histogram — instances per batched-solve call (how many cache-miss
+#: instances one knapsack step handed the kernel at once).
+MCKP_BATCH_SIZE = "repro_mckp_batch_size"
 
 # --------------------------------------------------------------------- #
 # Incremental solve engine (repro.core.engine)
@@ -251,6 +260,9 @@ ALL_METRICS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     MCKP_SOLVES: ("counter", ()),
     MCKP_TABLE_CELLS: ("histogram", ()),
     MCKP_GRID_SLACK_KBPS: ("histogram", ()),
+    MCKP_KERNEL_SOLVES: ("counter", ("kernel",)),
+    MCKP_BATCHED_SOLVES: ("counter", ()),
+    MCKP_BATCH_SIZE: ("histogram", ()),
     MCKP_CACHE: ("counter", ("result",)),
     MCKP_CACHE_EVICTIONS: ("counter", ()),
     MCKP_CACHE_ENTRIES: ("gauge", ()),

@@ -117,6 +117,67 @@ class TestGeneratorEquivalence:
             assert pickle.dumps(memoized) == pickle.dumps(direct), name
 
 
+class TestKernelEquivalence:
+    """The array kernel must not change a single Solution byte.
+
+    ``kernel="numpy"`` (vectorized sweeps + the batched cache-miss path)
+    against ``kernel="python"`` (the differential oracle), compared by
+    pickle bytes on every benchmark generator.  The process cache is
+    cleared before each solve so neither kernel replays the other's
+    cached solutions.
+    """
+
+    def _solve_cold(self, gen, granularity, kernel):
+        default_mckp_cache().clear()
+        cfg = SolverConfig(granularity_kbps=granularity, kernel=kernel)
+        return GsoSolver(cfg).solve_with_stats(gen())
+
+    @pytest.mark.parametrize(
+        "granularity",
+        [1, 25],
+        ids=["granularity1", "granularity25"],
+    )
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_solutions_byte_identical(self, name, granularity):
+        if granularity == 1 and name != "mesh_small":
+            pytest.skip("exact-grid oracle runs only on the small mesh")
+        py_sol, py_stats = self._solve_cold(
+            GENERATORS[name], granularity, "python"
+        )
+        np_sol, np_stats = self._solve_cold(
+            GENERATORS[name], granularity, "numpy"
+        )
+        assert pickle.dumps(np_sol) == pickle.dumps(py_sol)
+        assert np_stats.iterations == py_stats.iterations
+        assert np_stats.reductions == py_stats.reductions
+
+    def test_kernels_also_agree_with_engine_off(self):
+        for kernel in ("python", "numpy"):
+            cfg = SolverConfig(
+                granularity_kbps=25, incremental=False, kernel=kernel
+            )
+            sol = GsoSolver(cfg).solve(GENERATORS["fanout"]())
+            if kernel == "python":
+                reference = pickle.dumps(sol)
+        assert pickle.dumps(sol) == reference
+
+    def test_numpy_path_actually_batches(self):
+        _, stats = self._solve_cold(GENERATORS["mesh_large"], 25, "numpy")
+        assert stats.kernel == "numpy"
+        assert stats.engine.batches >= 1
+        assert stats.engine.batched_solves == stats.engine.cache_misses > 0
+
+    def test_stats_report_configured_kernel(self):
+        _, stats = self._solve_cold(GENERATORS["mesh_small"], 25, "python")
+        assert stats.kernel == "python"
+
+    def test_env_default_kernel_applies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "python")
+        assert SolverConfig().kernel == "python"
+        monkeypatch.delenv("REPRO_KERNEL")
+        assert SolverConfig().kernel == "numpy"
+
+
 class TestChaosEquivalence:
     """The engine must not change a single chaos-run byte."""
 
@@ -156,6 +217,25 @@ class TestChaosEquivalence:
         monkeypatch.setattr(chaos_runner, "SolverConfig", no_engine)
         engine_off = self._digest(scenario, seed=11)
         assert engine_on == engine_off
+
+    @pytest.mark.parametrize(
+        "scenario",
+        sorted(
+            s.name
+            for s in __import__(
+                "repro.chaos", fromlist=["list_scenarios"]
+            ).list_scenarios()
+        ),
+    )
+    def test_scenario_digest_identical_with_python_kernel(
+        self, scenario, monkeypatch
+    ):
+        # The chaos runner builds its SolverConfig internally, so the
+        # oracle kernel is selected through the environment default.
+        numpy_digest = self._digest(scenario, seed=11)
+        monkeypatch.setenv("REPRO_KERNEL", "python")
+        default_mckp_cache().clear()
+        assert self._digest(scenario, seed=11) == numpy_digest
 
     def test_double_run_determinism_with_engine_enabled(self):
         assert self._digest("kitchen_sink", seed=13) == self._digest(

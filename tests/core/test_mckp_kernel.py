@@ -1,0 +1,314 @@
+"""Edge cases and dispatch semantics of the MCKP execution kernels.
+
+The array kernel (``"numpy"``) must match the pure-Python differential
+oracle (``"python"``) *bit-for-bit* — compared by pickle bytes, not
+objective values — on exactly the shapes where vectorized DP sweeps
+classically go wrong: empty classes, grids with zero or one slot,
+exact value+weight ties (the Table-1 tie-break), and weights sitting
+on granularity-bucket boundaries.  The batched entry point must be
+indistinguishable from a per-instance loop, including when instances
+share one DP table (same class structure, different capacities).
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.mckp import (
+    KERNELS,
+    _solve_mckp_dp_mandatory_python,
+    _solve_mckp_dp_python,
+    default_kernel,
+    kernel_stats,
+    solve_mckp_dp,
+    solve_mckp_dp_batch,
+    solve_mckp_dp_mandatory,
+)
+
+
+def both_optional(classes, cap, g=1):
+    a = solve_mckp_dp(classes, cap, granularity=g, kernel="numpy")
+    b = _solve_mckp_dp_python(classes, cap, granularity=g)
+    assert pickle.dumps(a) == pickle.dumps(b), (classes, cap, g)
+    return a
+
+
+def both_mandatory(classes, cap, g=1):
+    a = solve_mckp_dp_mandatory(classes, cap, granularity=g, kernel="numpy")
+    b = _solve_mckp_dp_mandatory_python(classes, cap, granularity=g)
+    assert pickle.dumps(a) == pickle.dumps(b), (classes, cap, g)
+    return a
+
+
+class TestKernelDispatch:
+    def test_kernel_names_are_registered(self):
+        assert KERNELS == ("numpy", "python")
+
+    def test_default_kernel_is_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert default_kernel() == "numpy"
+
+    def test_env_selects_kernel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "python")
+        assert default_kernel() == "python"
+
+    def test_env_rejects_unknown_kernel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "fortran")
+        with pytest.raises(ValueError, match="fortran"):
+            default_kernel()
+
+    def test_explicit_kernel_rejects_unknown(self):
+        with pytest.raises(ValueError, match="cuda"):
+            solve_mckp_dp([[(1, 1.0)]], 5, kernel="cuda")
+        with pytest.raises(ValueError, match="cuda"):
+            solve_mckp_dp_mandatory([[(1, 1.0)]], 5, kernel="cuda")
+        with pytest.raises(ValueError, match="cuda"):
+            solve_mckp_dp_batch([([[(1, 1.0)]], 5)], kernel="cuda")
+
+    def test_explicit_kernel_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        stats = kernel_stats()
+        before = stats.solves["python"]
+        solve_mckp_dp([[(1, 1.0)]], 5, kernel="python")
+        assert stats.solves["python"] == before + 1
+
+    def test_kernel_stats_count_batches(self):
+        stats = kernel_stats()
+        calls, insts = stats.batch_calls, stats.batched_instances
+        solve_mckp_dp_batch(
+            [([[(1, 1.0)]], 5), ([[(2, 2.0)]], 5)], kernel="numpy"
+        )
+        assert stats.batch_calls == calls + 1
+        assert stats.batched_instances == insts + 2
+
+    def test_kernel_stats_snapshot_shape(self):
+        snap = kernel_stats().snapshot()
+        assert set(snap) == {"solves", "batch_calls", "batched_instances"}
+        assert set(snap["solves"]) == set(KERNELS)
+
+
+class TestOptionalEdgeCases:
+    def test_no_classes(self):
+        for cap in (0, 1, 100):
+            sol = both_optional([], cap)
+            assert sol.picks == ()
+
+    def test_empty_grid_zero_capacity(self):
+        sol = both_optional([[(5, 3.0)], [(2, 1.0)]], 0)
+        assert sol.picks == (None, None)
+
+    def test_single_slot_grid(self):
+        # capacity == granularity: exactly one usable slot; only items
+        # whose grid weight rounds to 1 can be taken, and only one of them.
+        classes = [[(9, 4.0), (10, 5.0), (11, 6.0)], [(10, 7.0)]]
+        sol = both_optional(classes, 10, g=10)
+        assert sol.picks == (None, 0)
+        assert sol.total_weight == 10
+
+    def test_capacity_smaller_than_every_item(self):
+        sol = both_optional([[(50, 9.0)], [(60, 9.0)]], 49)
+        assert sol.picks == (None, None)
+
+    def test_exact_value_and_weight_ties_prefer_lower_index(self):
+        # Identical (weight, value) items: the sequential strict-> update
+        # keeps the first item; argmax must agree.
+        classes = [[(4, 5.0), (4, 5.0), (4, 5.0)]]
+        sol = both_optional(classes, 10)
+        assert sol.picks == (0,)
+
+    def test_skip_beats_equal_valued_item(self):
+        # A zero-value item never displaces the skip row on a tie.
+        sol = both_optional([[(1, 0.0)]], 5)
+        assert sol.picks == (None,)
+
+    def test_cross_class_tie_columns(self):
+        # Two ways to reach the same total value at different weights; the
+        # backtrack column choice (smallest maximizing column) must match.
+        classes = [[(2, 3.0), (5, 3.0)], [(3, 3.0), (2, 3.0)]]
+        for cap in range(0, 9):
+            both_optional(classes, cap)
+
+    def test_grid_weight_boundaries(self):
+        # Weights at granularity multiples and one off either side: the
+        # ceil-rounding must agree between kernels everywhere.
+        g = 25
+        weights = [24, 25, 26, 49, 50, 51, 74, 75, 76]
+        classes = [[(w, float(w)) for w in weights]]
+        for cap in (0, 24, 25, 26, 50, 75, 100, 149, 150):
+            both_optional(classes, cap, g=g)
+
+    def test_float_values_at_int_weights(self):
+        # Values whose float sums differ by rounding order would betray a
+        # different accumulation order between the kernels.
+        classes = [
+            [(10, 0.1), (20, 0.2)],
+            [(10, 0.1), (20, 0.30000000000000004)],
+            [(10, 0.7), (20, 1.1)],
+        ]
+        for cap in (0, 10, 20, 30, 40, 50):
+            both_optional(classes, cap)
+
+    def test_fuzz_byte_identity(self):
+        rng = random.Random(23)
+        for _ in range(200):
+            classes = [
+                [
+                    (rng.randint(1, 70), rng.choice([0.0, 1.0, rng.random() * 50]))
+                    for _ in range(rng.randint(1, 5))
+                ]
+                for _ in range(rng.randint(0, 5))
+            ]
+            both_optional(
+                classes, rng.randint(0, 250), g=rng.choice([1, 7, 25])
+            )
+
+
+class TestMandatoryEdgeCases:
+    def test_no_classes_is_trivially_feasible(self):
+        for cap in (0, 10):
+            sol = both_mandatory([], cap)
+            assert sol is not None and sol.picks == ()
+
+    def test_empty_class_list_infeasible(self):
+        assert both_mandatory([[], [(1, 1.0)]], 100) is None
+        assert both_mandatory([[]], 100) is None
+
+    def test_capacity_below_smallest_mandatory_pick(self):
+        # The lightest feasible combination weighs 7; one unit less must
+        # be infeasible through both kernels.
+        classes = [[(3, 1.0), (5, 9.0)], [(4, 1.0), (6, 9.0)]]
+        assert both_mandatory(classes, 6) is None
+        assert both_mandatory(classes, 7) is not None
+
+    def test_single_slot_grid_mandatory(self):
+        # One slot and two classes that must both pick: infeasible (each
+        # pick needs at least one slot).
+        classes = [[(10, 1.0)], [(10, 1.0)]]
+        assert both_mandatory(classes, 10, g=10) is None
+        assert both_mandatory(classes, 20, g=10) is not None
+
+    def test_exact_ties_match_oracle_bit_for_bit(self):
+        classes = [[(4, 5.0), (6, 5.0)], [(4, 5.0), (2, 5.0)]]
+        for cap in range(0, 14):
+            both_mandatory(classes, cap)
+
+    def test_grid_weight_boundaries_mandatory(self):
+        g = 50
+        classes = [[(49, 1.0), (50, 2.0), (51, 3.0)], [(99, 1.0), (100, 2.0)]]
+        for cap in (0, 99, 100, 101, 149, 150, 151, 200):
+            both_mandatory(classes, cap, g=g)
+
+    def test_post_hoc_capacity_rejection(self):
+        # Grid slots admit the combination but true weights exceed the
+        # capacity — both kernels must reject after backtracking.
+        classes = [[(51, 9.0)], [(51, 9.0)]]
+        assert both_mandatory(classes, 100, g=50) is None
+
+    def test_fuzz_byte_identity(self):
+        rng = random.Random(29)
+        for _ in range(200):
+            classes = [
+                [
+                    (rng.randint(1, 70), rng.choice([0.0, 1.0, rng.random() * 50]))
+                    for _ in range(rng.randint(0, 4))
+                ]
+                for _ in range(rng.randint(0, 4))
+            ]
+            both_mandatory(
+                classes, rng.randint(0, 250), g=rng.choice([1, 7, 25])
+            )
+
+
+class TestBatchedEntryPoint:
+    def _reference(self, instances, g):
+        return [
+            solve_mckp_dp(c, cap, granularity=g, kernel="python")
+            for c, cap in instances
+        ]
+
+    def test_empty_batch(self):
+        assert solve_mckp_dp_batch([], kernel="numpy") == []
+
+    def test_batch_with_empty_and_zero_capacity_instances(self):
+        instances = [
+            ([], 100),
+            ([[(5, 1.0)]], 0),
+            ([[(5, 1.0)]], 100),
+        ]
+        got = solve_mckp_dp_batch(instances, kernel="numpy")
+        assert pickle.dumps(got) == pickle.dumps(self._reference(instances, 1))
+
+    def test_heterogeneous_capacities_share_the_common_grid(self):
+        # Wildly different slot counts in one batch: the padded columns of
+        # small instances must not leak into their argmax.
+        classes = [[(3, 2.0), (7, 5.0)], [(4, 3.0)]]
+        instances = [(classes, cap) for cap in (0, 3, 4, 7, 11, 500)]
+        got = solve_mckp_dp_batch(instances, kernel="numpy")
+        assert pickle.dumps(got) == pickle.dumps(self._reference(instances, 1))
+
+    def test_python_kernel_batches_through_the_oracle(self):
+        instances = [([[(3, 2.0)]], 10), ([[(4, 9.0), (2, 1.0)]], 4)]
+        got = solve_mckp_dp_batch(instances, kernel="python")
+        assert pickle.dumps(got) == pickle.dumps(self._reference(instances, 1))
+
+    def test_shared_class_structure_one_table_many_capacities(self):
+        # The batch's core trick: instances differing only in capacity
+        # share one DP table.  Every capacity from empty grid to far
+        # beyond the heaviest combination must match the scalar oracle.
+        rng = random.Random(31)
+        classes = [
+            [
+                (rng.randint(1, 60), rng.random() * 40)
+                for _ in range(rng.randint(1, 4))
+            ]
+            for _ in range(4)
+        ]
+        for g in (1, 7):
+            instances = [(classes, cap) for cap in range(0, 260, 13)]
+            got = solve_mckp_dp_batch(instances, g, kernel="numpy")
+            assert pickle.dumps(got) == pickle.dumps(
+                self._reference(instances, g)
+            )
+
+    def test_mixed_class_structures_group_independently(self):
+        # Two structures interleaved in one batch: grouping must not
+        # reorder or cross-contaminate the results.
+        a = [[(3, 2.0), (7, 5.0)]]
+        b = [[(4, 3.0)], [(2, 1.0), (6, 8.0)]]
+        instances = [(a, 10), (b, 5), (a, 3), (b, 20), (a, 7)]
+        got = solve_mckp_dp_batch(instances, kernel="numpy")
+        assert pickle.dumps(got) == pickle.dumps(self._reference(instances, 1))
+
+    def test_ragged_class_counts_in_one_batch(self):
+        # Instances with different class counts: shorter instances must
+        # ride along untouched through the extra class steps.
+        instances = [
+            ([[(2, 1.0)]], 10),
+            ([[(2, 1.0)], [(3, 4.0)], [(4, 2.0)]], 10),
+            ([], 10),
+        ]
+        got = solve_mckp_dp_batch(instances, kernel="numpy")
+        assert pickle.dumps(got) == pickle.dumps(self._reference(instances, 1))
+
+    def test_fuzz_batch_equals_scalar(self):
+        rng = random.Random(37)
+        for _ in range(40):
+            g = rng.choice([1, 7, 25])
+            instances = [
+                (
+                    [
+                        [
+                            (rng.randint(1, 80), rng.random() * 100)
+                            for _ in range(rng.randint(1, 6))
+                        ]
+                        for _ in range(rng.randint(0, 6))
+                    ],
+                    rng.randint(0, 400),
+                )
+                for _ in range(rng.randint(0, 10))
+            ]
+            got = solve_mckp_dp_batch(instances, g, kernel="numpy")
+            assert pickle.dumps(got) == pickle.dumps(
+                self._reference(instances, g)
+            )

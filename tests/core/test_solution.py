@@ -140,3 +140,30 @@ class TestValidation:
         s.policies["P"][Resolution.P180] = entry
         with pytest.raises(AssertionError, match="keyed"):
             s.validate(toy_problem())
+
+
+class TestPolicyEntryPickleCanonical:
+    """Equal policy entries must pickle byte-identically — audiences are
+    frozensets, whose native serialization order depends on insertion
+    history (a SolvePool worker's round-tripped entry used to pickle
+    differently from the parent's freshly-built one)."""
+
+    def test_insertion_order_does_not_leak_into_bytes(self):
+        import pickle
+
+        stream = spec(1000, Resolution.P720)
+        ids = [f"c{k}" for k in range(40)]
+        a = PolicyEntry(stream, frozenset(ids))
+        b = PolicyEntry(stream, frozenset(reversed(ids)))
+        assert a == b
+        assert pickle.dumps(a) == pickle.dumps(b)
+
+    def test_round_trip_is_byte_stable(self):
+        import pickle
+
+        stream = spec(1000, Resolution.P720)
+        entry = PolicyEntry(stream, frozenset(f"c{k}" for k in range(40)))
+        blob = pickle.dumps(entry)
+        again = pickle.loads(blob)
+        assert again == entry
+        assert pickle.dumps(again) == blob

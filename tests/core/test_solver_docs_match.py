@@ -1,0 +1,197 @@
+"""The solver-internals guide and the solver must not drift apart.
+
+``docs/SOLVER.md`` describes the KMR loop, the MCKP DP formulations,
+the cache layers and the kernel registry.  Like
+``tests/obs/test_docs_match.py`` for the observability guide, these
+tests pin the guide's mechanical claims to the code: every backticked
+config field / kernel name / metric / code reference the guide makes
+must be exactly what the package ships.
+"""
+
+import dataclasses
+import inspect
+import re
+from pathlib import Path
+
+import pytest
+
+import repro.core.engine as engine
+import repro.core.knapsack as knapsack
+import repro.core.mckp as mckp
+import repro.core.reduction as reduction
+import repro.core.solver as solver
+from repro.core.engine import MckpInstanceCache
+from repro.core.solver import SolveStats, SolverConfig
+from repro.obs import names
+
+REPO = Path(__file__).resolve().parents[2]
+DOCS = REPO / "docs" / "SOLVER.md"
+
+
+@pytest.fixture(scope="module")
+def guide_text():
+    assert DOCS.is_file(), f"solver guide missing: {DOCS}"
+    return DOCS.read_text()
+
+
+class TestConfigClaims:
+    def test_solverconfig_kwargs_are_real_fields(self, guide_text):
+        """Every ``SolverConfig(<name>=...)`` the guide writes must be an
+        actual dataclass field."""
+        fields = {f.name for f in dataclasses.fields(SolverConfig)}
+        mentioned = set(
+            re.findall(r"SolverConfig\((\w+)=", guide_text)
+        )
+        assert mentioned, "guide no longer names any SolverConfig field"
+        assert mentioned <= fields, (
+            f"guide names unknown SolverConfig fields: {mentioned - fields}"
+        )
+
+    def test_kernel_field_and_default_documented(self, guide_text):
+        assert "kernel" in {f.name for f in dataclasses.fields(SolverConfig)}
+        # The documented default source must be the real env knob.
+        assert mckp.KERNEL_ENV in guide_text
+        assert "`default_kernel()`" in guide_text
+
+    def test_stats_kernel_field_exists(self, guide_text):
+        assert "SolveStats.kernel" in guide_text
+        assert "kernel" in {f.name for f in dataclasses.fields(SolveStats)}
+
+    def test_cache_capacity_matches_code(self, guide_text):
+        m = re.search(r"MckpInstanceCache\(capacity=(\d+)\)", guide_text)
+        assert m, "guide must state the cache capacity mechanically"
+        documented = int(m.group(1))
+        default = inspect.signature(MckpInstanceCache).parameters[
+            "capacity"
+        ].default
+        assert documented == default, (
+            f"guide says capacity={documented}, code default is {default}"
+        )
+
+
+class TestKernelClaims:
+    def test_kernel_tuple_quoted_verbatim(self, guide_text):
+        assert f"KERNELS = {mckp.KERNELS!r}".replace("'", '"') in guide_text
+
+    def test_each_kernel_name_documented(self, guide_text):
+        for kernel in mckp.KERNELS:
+            assert f"`{kernel}`" in guide_text, kernel
+
+    def test_documented_default_is_real_default(self, guide_text, monkeypatch):
+        monkeypatch.delenv(mckp.KERNEL_ENV, raising=False)
+        assert mckp.default_kernel() == "numpy"
+        assert "**`numpy`** (default)" in guide_text
+
+    def test_oracle_functions_exist(self, guide_text):
+        for name in (
+            "_solve_mckp_dp_python",
+            "_solve_mckp_dp_mandatory_python",
+        ):
+            assert name in guide_text
+            assert callable(getattr(mckp, name))
+
+
+class TestCodeReferencesExist:
+    #: (module, attribute) for every load-bearing code reference the
+    #: guide makes.  New references belong here too.
+    REFERENCES = (
+        (solver, "GsoSolver"),
+        (solver, "SolverConfig"),
+        (solver, "_iteration_bound"),
+        (knapsack, "knapsack_step"),
+        (reduction, "reduction_step"),
+        (reduction, "fix_owner"),
+        (mckp, "solve_mckp_dp"),
+        (mckp, "solve_mckp_dp_mandatory"),
+        (mckp, "solve_mckp_dp_batch"),
+        (mckp, "_grid_weight"),
+        (mckp, "MckpSolution"),
+        (mckp, "kernel_stats"),
+        (engine, "instance_key"),
+        (engine, "default_mckp_cache"),
+        (engine, "MckpInstanceCache"),
+    )
+
+    def test_references_resolve_and_are_documented(self, guide_text):
+        for module, attr in self.REFERENCES:
+            assert hasattr(module, attr), f"{module.__name__}.{attr}"
+            assert attr in guide_text, f"guide dropped reference to {attr}"
+
+    def test_merge_step_exists(self, guide_text):
+        from repro.core.merge import merge_step
+
+        assert callable(merge_step)
+        assert "merge_step" in guide_text
+
+    def test_referenced_files_exist(self, guide_text):
+        for rel in (
+            "tests/core/test_mckp_kernel.py",
+            "tests/core/test_incremental.py",
+            "tests/core/test_solver_docs_match.py",
+            "benchmarks/test_solver_speedup.py",
+            "benchmarks/baselines/BENCH_PR5.json",
+            "benchmarks/baselines/BENCH_PR6.json",
+        ):
+            assert Path(rel).name in guide_text, rel
+            assert (REPO / rel).is_file(), rel
+
+
+class TestMetricClaims:
+    def test_mentioned_metrics_are_canonical(self, guide_text):
+        mentioned = set(re.findall(r"\brepro_[a-z0-9_]+\b", guide_text))
+        derived = {
+            base + suffix
+            for base, (kind, _) in names.ALL_METRICS.items()
+            if kind == "histogram"
+            for suffix in ("_sum", "_count")
+        }
+        unknown = mentioned - set(names.ALL_METRICS) - derived
+        assert not unknown, f"guide mentions unknown metrics: {sorted(unknown)}"
+
+    def test_kernel_metrics_documented(self, guide_text):
+        for metric in (
+            names.MCKP_KERNEL_SOLVES,
+            names.MCKP_BATCHED_SOLVES,
+            names.MCKP_BATCH_SIZE,
+        ):
+            assert metric in guide_text, metric
+
+
+class TestBenchmarkClaims:
+    def test_floors_match_benchmark_source(self, guide_text):
+        """The guide quotes the speedup floors; the benchmark defines
+        them.  Parse the constants out of the benchmark source (the
+        ``benchmarks/`` tree is not importable from the test suite)."""
+        src = (REPO / "benchmarks" / "test_solver_speedup.py").read_text()
+        floors = {
+            name: float(value)
+            for name, value in re.findall(
+                r"^(GALLERY_FLOOR|ROUNDS_FLOOR|KERNEL_FLOOR)"
+                r"\s*=\s*([0-9.]+)",
+                src,
+                re.M,
+            )
+        }
+        assert floors == {
+            "GALLERY_FLOOR": 3.0,
+            "ROUNDS_FLOOR": 1.5,
+            "KERNEL_FLOOR": 10.0,
+        }
+        for claim in ("3x\ngallery", "1.5x rounds", "(10x)"):
+            assert claim in guide_text, claim
+
+
+class TestCrossLinks:
+    def test_guide_links_to_sibling_docs(self, guide_text):
+        for sibling in (
+            "ARCHITECTURE.md",
+            "PERFORMANCE.md",
+            "OBSERVABILITY.md",
+        ):
+            assert f"]({sibling})" in guide_text, sibling
+            assert (REPO / "docs" / sibling).is_file(), sibling
+
+    def test_sibling_docs_link_back(self):
+        for rel in ("docs/ARCHITECTURE.md", "docs/PERFORMANCE.md", "README.md"):
+            text = (REPO / rel).read_text()
+            assert "SOLVER.md" in text, f"{rel} does not link docs/SOLVER.md"

@@ -96,3 +96,20 @@ class TestCommands:
             ["rollout", "--start", "2021-12-21", "--end", "2021-12-19"]
         )
         assert rc == 2
+
+
+class TestKernelReporting:
+    def test_solve_prints_kernel_and_batches(self, capsys):
+        rc = main(["solve", "A:5000:1400", "B:5000:3000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "(kernel: " in out
+        assert "batched solve(s)" in out
+
+    def test_bogus_kernel_env_is_one_line_error(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_KERNEL", "bogus")
+        rc = main(["solve", "A:5000:1400", "B:5000:3000"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro solve: ")
+        assert "Traceback" not in err
