@@ -1,0 +1,138 @@
+"""Fleet-throughput gate: meetings/sec at the p95 solve SLO, per policy.
+
+Runs the vectorized fleet model (``repro.deploy.vectorfleet``) at one
+committed operating point — seed 8, 10^5 users, 16 shards, 32
+webinar-scale meetings — places the identical workload with every
+placement policy, and bisects each packing's sustainable fleet-wide
+solve rate under the 250 ms p95 solve-latency SLO.
+
+The model is pure seeded arithmetic (no wall clock), so the whole report
+is byte-deterministic; the test runs it twice and requires identical
+canonical JSON.  Results are written to ``benchmarks/out/BENCH_PR7.json``
+and compared against ``benchmarks/baselines/BENCH_PR7.json``:
+
+* ``best_fit`` must sustain at least :data:`MIN_SPEEDUP` x the ``hash``
+  baseline's meetings/sec — asserted unconditionally (the model has no
+  machine noise to excuse);
+* against the committed baseline the speedups may not drop more than
+  15 % relative; outside CI the comparison only prints, and the hard
+  failure is armed by ``REPRO_PERF_GATE=1``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import List
+
+from _harness import OUT_DIR, emit
+
+from repro.deploy.vectorfleet import throughput_report
+
+BENCH_SCHEMA = "repro.bench_pr7/v1"
+BASELINE_PATH = Path(__file__).parent / "baselines" / "BENCH_PR7.json"
+RESULT_PATH = OUT_DIR / "BENCH_PR7.json"
+
+#: The committed operating point (chosen so the webinar mass collides on
+#: the hash ring; regenerate the baseline if any of these change).
+SEED = 8
+USERS = 100_000
+SHARDS = 16
+WEBINARS = 32
+WEBINAR_SIZE = (180, 220)
+MAX_SIZE = 60
+
+#: best_fit must beat hash by at least this factor (acceptance floor).
+MIN_SPEEDUP = 2.0
+
+#: Maximum tolerated relative drop vs the committed baseline speedups.
+REGRESSION_BUDGET = 0.15
+
+
+def _report() -> dict:
+    return throughput_report(
+        SEED,
+        users=USERS,
+        shards=SHARDS,
+        webinars=WEBINARS,
+        webinar_size=WEBINAR_SIZE,
+        max_size=MAX_SIZE,
+    )
+
+
+def _compare(result: dict, baseline: dict) -> List[str]:
+    """Gate comparisons; returns a list of failure descriptions."""
+    failures: List[str] = []
+    for key in sorted(baseline):
+        if not key.startswith("speedup_"):
+            continue
+        floor = baseline[key] * (1.0 - REGRESSION_BUDGET)
+        current = result.get(key, 0.0)
+        if current < floor:
+            failures.append(
+                f"{key} {current:.4f} < floor {floor:.4f} "
+                f"(baseline {baseline[key]:.4f})"
+            )
+    return failures
+
+
+def test_fleet_throughput():
+    result = {"schema": BENCH_SCHEMA, **_report()}
+    replay = {"schema": BENCH_SCHEMA, **_report()}
+    canonical = json.dumps(result, indent=2, sort_keys=True)
+    assert canonical == json.dumps(replay, indent=2, sort_keys=True), (
+        "fleet throughput report is not deterministic across runs"
+    )
+    OUT_DIR.mkdir(exist_ok=True)
+    RESULT_PATH.write_text(canonical + "\n")
+
+    lines = [
+        f"fleet: {result['users']} users / {result['meetings']} meetings "
+        f"on {result['shards']} shards "
+        f"(seed {result['seed']}, p95 SLO {result['slo_p95_s']} s)",
+    ]
+    for policy, row in result["policies"].items():
+        lines.append(
+            f"{policy:<12s}: {row['meetings_per_s']:10.1f} meetings/s  "
+            f"imbalance={row['imbalance']:.3f}  "
+            f"shard_cost_max={row['shard_cost_max']:.0f}"
+        )
+    speedup = result["speedup_best_fit_vs_hash"]
+    lines.append(
+        f"speedup: best_fit {speedup}x, "
+        f"least_loaded {result['speedup_least_loaded_vs_hash']}x vs hash"
+    )
+    lines.append(f"wrote {RESULT_PATH.relative_to(OUT_DIR.parent)}")
+
+    if not BASELINE_PATH.exists():
+        lines.append("no committed baseline — comparison skipped")
+        emit("fleet_throughput", lines)
+        assert speedup >= MIN_SPEEDUP, (
+            f"best_fit sustains only {speedup}x hash throughput "
+            f"(need >= {MIN_SPEEDUP}x)"
+        )
+        return
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = _compare(result, baseline)
+    if canonical != json.dumps(baseline, indent=2, sort_keys=True):
+        lines.append(
+            "NOTE: report differs from the committed baseline — the model "
+            "is deterministic, so regenerate "
+            "benchmarks/baselines/BENCH_PR7.json if the workload or "
+            "policies changed intentionally"
+        )
+    lines.append(
+        "gate: " + ("FAIL — " + "; ".join(failures) if failures else "PASS")
+    )
+    emit("fleet_throughput", lines)
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"best_fit sustains only {speedup}x hash throughput "
+        f"(need >= {MIN_SPEEDUP}x)"
+    )
+    if failures and os.environ.get("REPRO_PERF_GATE") == "1":
+        raise AssertionError(
+            "fleet throughput gate failed: " + "; ".join(failures)
+        )

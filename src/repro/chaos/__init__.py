@@ -6,13 +6,20 @@ every delivered configuration that the orchestration stack kept its
 safety invariants.  See ``docs/RESILIENCE.md``.
 """
 
-from .faults import FAULT_KINDS, SHARD_KINDS, Fault, FaultSchedule
+from .faults import (
+    FAULT_KINDS,
+    OVERLOAD_SHARD,
+    SHARD_KINDS,
+    Fault,
+    FaultSchedule,
+)
 from .invariants import (
     ALL_INVARIANTS,
     INV_AVAILABILITY,
     INV_CONSTRAINTS,
     INV_CONVERGENCE,
     INV_DETERMINISM,
+    INV_SHARD_BUDGET,
     InvariantChecker,
     Violation,
     kmr_iteration_bound,
@@ -30,6 +37,8 @@ __all__ = [
     "INV_CONSTRAINTS",
     "INV_CONVERGENCE",
     "INV_DETERMINISM",
+    "INV_SHARD_BUDGET",
+    "OVERLOAD_SHARD",
     "REPORT_SCHEMA",
     "SHARD_KINDS",
     "ChaosConfig",

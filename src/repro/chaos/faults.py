@@ -27,6 +27,9 @@ KILL_SHARD = "kill_shard"
 RESTART_SHARD = "restart_shard"
 #: Grow the ring by a brand-new shard.
 ADD_SHARD = "add_shard"
+#: Overload one shard: every meeting homed there gains ``factor`` new
+#: participants (skewed growth — the hot-shard detector's test case).
+OVERLOAD_SHARD = "overload_shard"
 #: Lose a meeting's SEMB (RTCP APP-204) report: the pending solve demand
 #: evaporates; ``factor`` further reports are suppressed at the source.
 DROP_REPORT = "drop_report"
@@ -60,6 +63,7 @@ FAULT_KINDS: Tuple[str, ...] = (
     KILL_SHARD,
     RESTART_SHARD,
     ADD_SHARD,
+    OVERLOAD_SHARD,
     DROP_REPORT,
     DELAY_REPORT,
     LOSE_TMMBR,
@@ -74,7 +78,12 @@ FAULT_KINDS: Tuple[str, ...] = (
 )
 
 #: Kinds whose ``target`` names a shard; all others target a meeting.
-SHARD_KINDS: Tuple[str, ...] = (KILL_SHARD, RESTART_SHARD, ADD_SHARD)
+SHARD_KINDS: Tuple[str, ...] = (
+    KILL_SHARD,
+    RESTART_SHARD,
+    ADD_SHARD,
+    OVERLOAD_SHARD,
+)
 
 
 @dataclass(frozen=True)

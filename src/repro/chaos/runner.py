@@ -42,6 +42,7 @@ from ..obs.registry import get_registry
 from ..obs.slo import SloContext, SloEngine, SloVerdict
 from ..obs.spans import span
 from ..obs.timeseries import active_store
+from ..placement.migration import HotShardDetector
 from . import faults as F
 from .faults import Fault, FaultSchedule
 from .invariants import InvariantChecker, kmr_iteration_bound
@@ -109,6 +110,11 @@ class ChaosConfig:
     cache_capacity: int = 256
     max_solves_per_round: int = 64
     mean_size: float = 4.0
+    #: Placement policy homing meetings onto shards (see repro.placement).
+    placement: str = "hash"
+    #: Per-shard cost budget; > 0 arms the hot-shard detector every tick
+    #: and the shard_budget invariant at run end.
+    shard_cost_budget: float = 0.0
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -130,6 +136,8 @@ class ChaosConfig:
             "cache_capacity": self.cache_capacity,
             "max_solves_per_round": self.max_solves_per_round,
             "mean_size": self.mean_size,
+            "placement": self.placement,
+            "shard_cost_budget": self.shard_cost_budget,
         }
 
 
@@ -177,8 +185,15 @@ class ChaosRunner:
                 cache_capacity=cfg.cache_capacity,
                 max_solves_per_round=cfg.max_solves_per_round,
                 pool_workers=0,
+                placement=cfg.placement,
+                shard_cost_budget=cfg.shard_cost_budget,
                 solver=SolverConfig(granularity_kbps=25),
             )
+        )
+        self.detector: Optional[HotShardDetector] = (
+            HotShardDetector(cfg.shard_cost_budget)
+            if cfg.shard_cost_budget > 0
+            else None
         )
         self.checker = InvariantChecker()
         self.report = RunReport(
@@ -251,6 +266,17 @@ class ChaosRunner:
     def _finalize(self) -> None:
         """Closing availability check + per-meeting summaries."""
         self._check_availability()
+        if self.detector is not None:
+            live = self.cluster.live_shards
+            self.checker.check_shard_budget(
+                self.cluster.load_model.loads(live),
+                self.detector.budget,
+                {
+                    shard: self.detector.drainable(self.cluster, shard)
+                    for shard in live
+                },
+                self.sim.now,
+            )
         for meeting_id in self.world.meeting_ids:
             record = self.cluster.meeting(meeting_id)
             state = self.world.meeting(meeting_id)
@@ -335,6 +361,14 @@ class ChaosRunner:
         with span(obs_names.SPAN_CHAOS_TICK):
             for served in self.cluster.tick(self.sim.now):
                 self._deliver(served)
+            if self.detector is not None:
+                # Drain over-budget shards; the degraded fallbacks served
+                # mid-move are delivered like any other configuration.
+                rebalance = self.detector.rebalance(
+                    self.cluster, self.sim.now
+                )
+                for served in rebalance.served:
+                    self._deliver(served)
             self._check_availability()
         store = active_store()
         if store is not None:
@@ -485,6 +519,30 @@ class ChaosRunner:
             else:
                 name = self.cluster.add_shard(target, self.sim.now)
                 detail = {"shard": name}
+        elif kind == F.OVERLOAD_SHARD:
+            live = self.cluster.live_shards
+            target = fault.target if fault.target in live else ""
+            if not target:
+                # Pick the busiest live shard by assigned cost.
+                loads = self.cluster.load_model.loads(live)
+                target = max(live, key=lambda s: (loads[s], s))
+            joins = int(fault.factor) if fault.factor >= 1 else 2
+            grown = 0
+            for mid, _cost in self.cluster.load_model.meetings_on(target):
+                if mid not in self.world.meeting_ids:
+                    continue
+                for _ in range(joins):
+                    self.world.add_client(mid)
+                self._submit_current(mid)
+                grown += 1
+            if not grown:
+                outcome = "skipped"
+            else:
+                detail = {
+                    "shard": target,
+                    "meetings_grown": grown,
+                    "joined_each": joins,
+                }
         elif kind == F.DROP_REPORT:
             meeting_id = self._meeting_target(fault)
             dropped_pending = self.cluster.drop_pending(meeting_id)

@@ -15,6 +15,12 @@ Four subcommands cover the library's main entry points:
   stats`` drives a synthetic event/tick workload through the shard
   schedulers (coalescing, admission, optional shard kill) and dumps the
   stats snapshot;
+* ``place`` — fleet placement (see ``docs/PLACEMENT.md``): ``place run``
+  packs one sampled fleet with one policy and prints the packing,
+  ``place compare`` races every policy on the same workload and prints
+  the sustainable meetings/sec frontier, ``place stats`` drives real
+  meetings through a placed cluster (optionally rebalancing hot shards)
+  and dumps the load-model snapshot;
 * ``chaos`` — deterministic fault injection + invariant checking (see
   ``docs/RESILIENCE.md``): ``chaos run`` replays one scenario at one
   seed, ``chaos soak`` sweeps scenarios x seeds (running each twice and
@@ -305,6 +311,126 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
 
 
 # --------------------------------------------------------------------- #
+# Placement commands
+# --------------------------------------------------------------------- #
+
+
+def _cmd_place_run(args: argparse.Namespace) -> int:
+    """Place one sampled fleet with one policy; print the packing."""
+    import json
+
+    from .deploy.vectorfleet import place_fleet, sample_fleet, sustainable_rate
+
+    try:
+        workload = sample_fleet(
+            args.seed,
+            users=args.users,
+            webinars=args.webinars,
+            max_size=args.max_size,
+        )
+        placement = place_fleet(
+            workload, policy=args.policy, shards=args.shards
+        )
+    except ValueError as exc:
+        print(f"repro place: {exc}", file=sys.stderr)
+        return 2
+    rate = sustainable_rate(workload, placement, slo_p95_s=args.slo_p95)
+    payload = {
+        "seed": args.seed,
+        "users": workload.users,
+        "meetings": workload.meetings,
+        "slo_p95_s": args.slo_p95,
+        **placement.to_dict(),
+        "meetings_per_s": round(rate, 3),
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_place_compare(args: argparse.Namespace) -> int:
+    """Race every placement policy on one workload; print the frontier."""
+    import json
+
+    from .deploy.vectorfleet import throughput_report
+
+    try:
+        report = throughput_report(
+            args.seed,
+            users=args.users,
+            shards=args.shards,
+            slo_p95_s=args.slo_p95,
+            webinars=args.webinars,
+            max_size=args.max_size,
+        )
+    except ValueError as exc:
+        print(f"repro place: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"fleet: {report['users']} users / {report['meetings']} meetings "
+        f"on {report['shards']} shards (seed {report['seed']}, "
+        f"p95 SLO {report['slo_p95_s']}s)"
+    )
+    print("policy        meetings/s  shard-cost max  imbalance")
+    for policy, row in report["policies"].items():
+        print(
+            f"{policy:<12s}  {row['meetings_per_s']:10.1f}  "
+            f"{row['shard_cost_max']:14.0f}  {row['imbalance']:9.3f}"
+        )
+    for key in sorted(report):
+        if key.startswith("speedup_"):
+            print(f"{key}: {report[key]}x")
+    return 0
+
+
+def _cmd_place_stats(args: argparse.Namespace) -> int:
+    """Drive real meetings through a placed cluster; dump placement stats."""
+    import json
+    import random as _random
+
+    from .cluster import ClusterConfig, ControllerCluster
+    from .deploy.fleet import ConferenceScorer, FleetSampler
+    from .deploy.rollout import DeploymentSimulation
+    from .placement.migration import HotShardDetector
+
+    try:
+        config = ClusterConfig(
+            shards=args.shards,
+            placement=args.policy,
+            shard_cost_budget=args.budget,
+        )
+    except ValueError as exc:
+        print(f"repro place: {exc}", file=sys.stderr)
+        return 2
+    cluster = ControllerCluster(config)
+    try:
+        sim = DeploymentSimulation()
+        sampler = FleetSampler(_random.Random(args.seed))
+        scorer = ConferenceScorer()
+        for i in range(args.meetings):
+            rng = sim._conference_rng(dt.date(2021, 12, 25), i)
+            conf = sampler.sample_conference(rng=rng)
+            cluster.submit(f"meeting-{i}", scorer._gso_problem(conf), 0.0)
+        served = cluster.tick(0.0)
+        print(f"registered {args.meetings} meeting(s), served {len(served)}")
+        if args.budget > 0:
+            detector = HotShardDetector(args.budget)
+            result = detector.rebalance(cluster, 1.0)
+            hot = ", ".join(result.hot_after) if result.hot_after else "none"
+            print(
+                f"rebalance: {len(result.moves)} move(s), "
+                f"hot shards after: {hot}"
+            )
+        print(json.dumps(cluster.stats()["placement"], indent=2,
+                         sort_keys=True))
+    finally:
+        cluster.close()
+    return 0
+
+
+# --------------------------------------------------------------------- #
 # Chaos commands
 # --------------------------------------------------------------------- #
 
@@ -483,10 +609,16 @@ def _run_obs_scenario(args: argparse.Namespace):
     and SLO verdict objects, the store holds the per-tick registry
     samples.  Raises :class:`KeyError` for unknown scenario names.
     """
-    from .chaos import ChaosRunner, get_scenario
+    from .chaos import ChaosConfig, ChaosRunner, get_scenario
 
     config = _chaos_config(args, args.seed)
     scenario = get_scenario(args.scenario)
+    if scenario.config_overrides:
+        # Scenario-pinned config (placement policy, shard budget, sizing)
+        # wins over the generic CLI sizing flags, matching run_scenario.
+        config = ChaosConfig(
+            **{**config.to_dict(), **scenario.config_overrides}
+        )
     schedule = scenario.build(args.seed, config)
     runner = ChaosRunner(config, schedule, scenario=scenario.name)
     store = obs.TimeSeriesStore()
@@ -687,6 +819,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cluster_args(cluster_stats)
     cluster_stats.set_defaults(func=_cmd_cluster_stats)
+
+    place = sub.add_parser(
+        "place",
+        help="fleet placement: pack, compare, and inspect policies "
+        "(docs/PLACEMENT.md)",
+    )
+    place_sub = place.add_subparsers(dest="place_command", required=True)
+
+    def _add_fleet_args(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--seed", type=int, default=8)
+        parser.add_argument("--users", type=int, default=100_000)
+        parser.add_argument("--shards", type=int, default=16)
+        parser.add_argument("--webinars", type=int, default=32)
+        parser.add_argument("--max-size", type=int, default=60)
+        parser.add_argument(
+            "--slo-p95",
+            type=float,
+            default=0.25,
+            help="p95 solve-latency SLO in seconds",
+        )
+
+    place_run = place_sub.add_parser(
+        "run", help="pack one sampled fleet with one policy"
+    )
+    place_run.add_argument(
+        "--policy",
+        default="best_fit",
+        choices=["hash", "best_fit", "least_loaded"],
+    )
+    _add_fleet_args(place_run)
+    place_run.set_defaults(func=_cmd_place_run)
+
+    place_compare = place_sub.add_parser(
+        "compare",
+        help="race every policy on one workload; print meetings/sec",
+    )
+    place_compare.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full throughput report as JSON",
+    )
+    _add_fleet_args(place_compare)
+    place_compare.set_defaults(func=_cmd_place_compare)
+
+    place_stats = place_sub.add_parser(
+        "stats",
+        help="drive real meetings through a placed cluster and dump "
+        "the load-model snapshot",
+    )
+    place_stats.add_argument(
+        "--policy",
+        default="best_fit",
+        choices=["hash", "best_fit", "least_loaded"],
+    )
+    place_stats.add_argument("--seed", type=int, default=7)
+    place_stats.add_argument("--meetings", type=int, default=12)
+    place_stats.add_argument("--shards", type=int, default=4)
+    place_stats.add_argument(
+        "--budget",
+        type=float,
+        default=0.0,
+        help="per-shard cost budget (0 disables the hot-shard detector)",
+    )
+    place_stats.set_defaults(func=_cmd_place_stats)
 
     chaos = sub.add_parser(
         "chaos",

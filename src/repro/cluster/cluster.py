@@ -40,6 +40,12 @@ from ..obs import events as obs_events
 from ..obs import names as obs_names
 from ..obs.registry import get_registry
 from ..obs.spans import span
+from ..placement.loadmodel import (
+    DEFAULT_MEETING_COST,
+    ShardLoadModel,
+    meeting_cost,
+)
+from ..placement.policies import POLICIES, get_policy
 from .admission import AdmissionController
 from .cache import SolutionCache
 from .hashring import ConsistentHashRing
@@ -75,6 +81,12 @@ class ClusterConfig:
     max_solves_per_round: int = 64
     #: Solve-pool processes for cache-miss batches (0 = in-process).
     pool_workers: int = 0
+    #: Placement policy homing new meetings: ``hash`` (the ring,
+    #: baseline), ``best_fit`` (Tetris packing) or ``least_loaded``.
+    placement: str = "hash"
+    #: Per-shard assigned-cost budget consulted by ``best_fit`` packing
+    #: and the hot-shard detector; 0 disables budget awareness.
+    shard_cost_budget: float = 0.0
     #: Solver tuning shared by every shard (the fingerprint granularity).
     solver: SolverConfig = field(
         default_factory=lambda: SolverConfig(granularity_kbps=25)
@@ -89,6 +101,13 @@ class ClusterConfig:
             raise ValueError("pool_workers must be >= 0")
         if self.max_solves_per_round < 1:
             raise ValueError("max_solves_per_round must be >= 1")
+        if self.placement not in POLICIES:
+            raise ValueError(
+                f"unknown placement policy {self.placement!r}; "
+                f"known: {', '.join(POLICIES)}"
+            )
+        if self.shard_cost_budget < 0:
+            raise ValueError("shard_cost_budget must be >= 0")
 
     @property
     def cache_enabled(self) -> bool:
@@ -175,6 +194,11 @@ class ControllerCluster:
             solver_config=self.config.solver, workers=self.config.pool_workers
         )
         self._meetings: Dict[str, MeetingRecord] = {}
+        self.placement_policy = get_policy(self.config.placement)
+        self.load_model = ShardLoadModel(names)
+        #: reason -> count of live migrations (deterministic mirror of
+        #: the ``repro_placement_migrations_total`` counter).
+        self.migrations: Dict[str, int] = {}
         self.shard_failovers = 0
         #: Fault-injection hook (repro.chaos): called with
         #: ``(meeting_id, problem)`` before any solve attempt (including
@@ -206,13 +230,44 @@ class ControllerCluster:
         """The cluster-side record of a hosted meeting."""
         return self._meetings[meeting_id]
 
-    def register(self, meeting_id: str) -> str:
-        """Home a meeting on its ring shard (idempotent); returns the shard."""
+    def _place(self, meeting_id: str, cost: float) -> str:
+        """Consult the placement policy for one meeting's home shard."""
+        live = self.live_shards
+        return self.placement_policy.choose(
+            meeting_id,
+            cost,
+            live,
+            self.load_model.loads(live),
+            self.config.shard_cost_budget,
+            self._ring,
+        )
+
+    def register(
+        self, meeting_id: str, problem: Optional[Problem] = None
+    ) -> str:
+        """Home a meeting via the placement policy (idempotent); returns
+        the shard.  A ``problem`` sharpens the load model's cost estimate
+        (otherwise new meetings are assumed minimal two-party calls)."""
         record = self._meetings.get(meeting_id)
         if record is None:
-            record = MeetingRecord(meeting_id, self.shard_of(meeting_id))
+            cost = (
+                meeting_cost(problem)
+                if problem is not None
+                else DEFAULT_MEETING_COST
+            )
+            shard = self._place(meeting_id, cost)
+            record = MeetingRecord(meeting_id, shard)
             self._meetings[meeting_id] = record
+            self.load_model.assign(meeting_id, shard, cost)
+            reg = get_registry()
+            if reg.enabled:
+                reg.counter(
+                    obs_names.PLACEMENT_DECISIONS,
+                    policy=self.placement_policy.name,
+                ).inc()
             self._refresh_meeting_gauges()
+        elif problem is not None:
+            self.load_model.update_cost(meeting_id, meeting_cost(problem))
         return record.shard
 
     def _refresh_meeting_gauges(self) -> None:
@@ -224,6 +279,9 @@ class ControllerCluster:
             per_shard[record.shard] = per_shard.get(record.shard, 0) + 1
         for name, count in per_shard.items():
             reg.gauge(obs_names.CLUSTER_MEETINGS, shard=name).set(count)
+            reg.gauge(obs_names.PLACEMENT_SHARD_COST, shard=name).set(
+                self.load_model.load(name)
+            )
 
     # ------------------------------------------------------------------ #
     # Demand
@@ -237,7 +295,7 @@ class ControllerCluster:
         trigger: str = "event",
     ) -> str:
         """File an event-triggered solve request; returns the owning shard."""
-        shard = self.register(meeting_id)
+        shard = self.register(meeting_id, problem)
         record = self._meetings[meeting_id]
         record.last_problem = problem
         self._shards[shard].scheduler.submit(
@@ -372,7 +430,7 @@ class ControllerCluster:
         fingerprint cache, and never raises: solver failures degrade to
         the single-stream fallback (Sec. 7).
         """
-        self.register(meeting_id)
+        self.register(meeting_id, problem)
         record = self._meetings[meeting_id]
         reg = get_registry()
         if reg.enabled:
@@ -546,6 +604,91 @@ class ControllerCluster:
     # Failure and rebalance
     # ------------------------------------------------------------------ #
 
+    def migrate_meeting(
+        self,
+        meeting_id: str,
+        target: str,
+        now_s: float,
+        reason: str = "manual",
+        degrade: bool = True,
+    ) -> Optional[ServedSolution]:
+        """Live-migrate one meeting to ``target`` (the shared primitive
+        behind shard death, ring growth, hot-shard drains and scale-in).
+
+        With ``degrade=True`` (the Sec. 7 handover discipline) the
+        meeting is immediately served the single-stream fallback built
+        from its last snapshot, then re-converges via a ``rehome``
+        solve request on the target; with ``degrade=False`` the move is
+        seamless — only the rehome request is filed.
+
+        Returns the degraded :class:`ServedSolution` (None when the
+        meeting was already on ``target``, had no snapshot to serve, or
+        ``degrade=False``).
+
+        Raises:
+            KeyError: for an unknown meeting.
+            ValueError: for a dead or unknown target shard.
+        """
+        record = self._meetings[meeting_id]
+        worker = self._shards.get(target)
+        if worker is None or not worker.alive:
+            raise ValueError(f"no live shard {target!r}")
+        source = record.shard
+        if source == target:
+            return None
+        old = self._shards.get(source)
+        handover = old.scheduler.forget(meeting_id) if old else None
+        problem = handover or record.last_problem
+        record.shard = target
+        record.rehomes += 1
+        self.load_model.move(meeting_id, target)
+        self.migrations[reason] = self.migrations.get(reason, 0) + 1
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(obs_names.PLACEMENT_MIGRATIONS, reason=reason).inc()
+        log = obs_events.active_event_log()
+        cid = log.mint(meeting_id) if degrade and log is not None else ""
+        if log is not None:
+            if degrade:
+                log.emit(
+                    obs_events.MEETING_REHOMED,
+                    t=now_s,
+                    meeting=meeting_id,
+                    cid=cid,
+                    shard=target,
+                    reason=reason,
+                    previous_shard=source,
+                )
+            else:
+                log.emit(
+                    obs_events.MEETING_REHOMED,
+                    t=now_s,
+                    meeting=meeting_id,
+                    shard=target,
+                    reason=reason,
+                    previous_shard=source,
+                )
+        served: Optional[ServedSolution] = None
+        if problem is not None:
+            if degrade:
+                solution = self._fallback(record, problem)
+                served = self._serve(
+                    record,
+                    problem,
+                    solution,
+                    SOURCE_FALLBACK,
+                    TRIGGER_REHOME,
+                    now_s,
+                    correlation_id=cid,
+                )
+            # The rehome request re-converges the meeting to a full KMR
+            # solution on a later tick.
+            worker.scheduler.submit(
+                meeting_id, problem, now_s, trigger=TRIGGER_REHOME
+            )
+        self._refresh_meeting_gauges()
+        return served
+
     def kill_shard(self, name: str, now_s: float) -> List[ServedSolution]:
         """Take one shard down and re-home its meetings (Sec. 7 handover).
 
@@ -583,49 +726,31 @@ class ControllerCluster:
             record = self._meetings[meeting_id]
             if record.shard != name:
                 continue
-            handover = worker.scheduler.forget(meeting_id)
-            problem = handover or record.last_problem
-            new_shard = self._ring.node_for(meeting_id)
-            record.shard = new_shard
-            record.rehomes += 1
+            # Sequential placement: each migration updates the load
+            # model, so packing policies account for already-moved load.
+            target = self._place(
+                meeting_id, self.load_model.cost_of(meeting_id)
+            )
+            degraded = self.migrate_meeting(
+                meeting_id, target, now_s, reason="shard_killed"
+            )
             rehomed += 1
-            cid = log.mint(meeting_id) if log is not None else ""
-            if log is not None:
-                log.emit(
-                    obs_events.MEETING_REHOMED,
-                    t=now_s,
-                    meeting=meeting_id,
-                    cid=cid,
-                    shard=new_shard,
-                    reason="shard_killed",
-                    previous_shard=name,
-                )
-            if problem is None:
-                continue  # registered but never solved: nothing to degrade
-            solution = self._fallback(record, problem)
-            served.append(
-                self._serve(
-                    record,
-                    problem,
-                    solution,
-                    SOURCE_FALLBACK,
-                    TRIGGER_REHOME,
-                    now_s,
-                    correlation_id=cid,
-                )
-            )
-            # The fallback reset the new shard's min-interval clock; the
-            # rehome request re-converges the meeting on a later tick.
-            self._shards[new_shard].scheduler.submit(
-                meeting_id, problem, now_s, trigger=TRIGGER_REHOME
-            )
+            if degraded is not None:
+                served.append(degraded)
         if reg.enabled and rehomed:
             reg.counter(obs_names.CLUSTER_REHOMED).inc(rehomed)
+        self.load_model.remove_shard(name)
         self._refresh_meeting_gauges()
         return served
 
     def add_shard(self, name: Optional[str] = None, now_s: float = 0.0) -> str:
-        """Grow the ring by one shard, re-homing the meetings it captures."""
+        """Grow the fleet by one shard.
+
+        Under the ``hash`` policy the new ring node captures its keys and
+        those meetings re-home (seamless — no degraded serves); packing
+        policies keep existing placements sticky and simply start offering
+        the new shard to future placements and drains.
+        """
         if name is None:
             k = len(self._shards)
             while f"shard-{k}" in self._shards:
@@ -635,34 +760,25 @@ class ControllerCluster:
             raise ValueError(f"shard {name!r} already live")
         self._ring.add_node(name)
         self._shards[name] = ShardWorker(name, self.config)
+        self.load_model.add_shard(name)
         log = obs_events.active_event_log()
         if log is not None:
             log.emit(obs_events.SHARD_ADDED, t=now_s, shard=name)
         rehomed = 0
-        for meeting_id in self.meetings:
-            record = self._meetings[meeting_id]
-            new_shard = self._ring.node_for(meeting_id)
-            if new_shard == record.shard:
-                continue
-            old = self._shards.get(record.shard)
-            problem = old.scheduler.forget(meeting_id) if old else None
-            problem = problem or record.last_problem
-            if log is not None:
-                log.emit(
-                    obs_events.MEETING_REHOMED,
-                    t=now_s,
-                    meeting=meeting_id,
-                    shard=new_shard,
+        if self.placement_policy.uses_ring:
+            for meeting_id in self.meetings:
+                record = self._meetings[meeting_id]
+                new_shard = self._ring.node_for(meeting_id)
+                if new_shard == record.shard:
+                    continue
+                self.migrate_meeting(
+                    meeting_id,
+                    new_shard,
+                    now_s,
                     reason="shard_added",
-                    previous_shard=record.shard,
+                    degrade=False,
                 )
-            record.shard = new_shard
-            record.rehomes += 1
-            rehomed += 1
-            if problem is not None:
-                self._shards[new_shard].scheduler.submit(
-                    meeting_id, problem, now_s, trigger=TRIGGER_REHOME
-                )
+                rehomed += 1
         reg = get_registry()
         if reg.enabled and rehomed:
             reg.counter(obs_names.CLUSTER_REHOMED).inc(rehomed)
@@ -706,6 +822,12 @@ class ControllerCluster:
             "live_shards": self.live_shards,
             "shard_failovers": self.shard_failovers,
             "pool_workers": self.pool.workers,
+            "placement": {
+                "policy": self.placement_policy.name,
+                "budget": self.config.shard_cost_budget,
+                "migrations": dict(sorted(self.migrations.items())),
+                **self.load_model.snapshot(),
+            },
             "shards": shards,
             "cache": cache,
             "mckp_cache": default_mckp_cache().snapshot(),

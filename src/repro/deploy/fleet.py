@@ -145,7 +145,12 @@ class FleetSampler:
                 shard draws it, or in what order).
         """
         rng = rng if rng is not None else self._rng
-        extra = rng.expovariate(1.0 / (self._mean_size - 2))
+        # mean_size == 2 means no geometric tail at all: every meeting is
+        # a two-party call (expovariate(1/0) would divide by zero).
+        if self._mean_size <= 2:
+            extra = 0.0
+        else:
+            extra = rng.expovariate(1.0 / (self._mean_size - 2))
         size = min(self._max_size, 2 + int(extra))
         clients = []
         for k in range(size):

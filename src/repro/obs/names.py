@@ -192,6 +192,26 @@ SPAN_CLUSTER_TICK = "cluster.tick"
 SPAN_CLUSTER_SOLVE = "cluster.solve"
 
 # --------------------------------------------------------------------- #
+# Fleet placement (repro.placement)
+# --------------------------------------------------------------------- #
+
+#: Counter, label ``policy`` in {"hash", "best_fit", "least_loaded"} —
+#: placement decisions made when homing newly registered meetings.
+PLACEMENT_DECISIONS = "repro_placement_decisions_total"
+#: Gauge, label ``shard`` — deterministic assigned solve-cost per shard
+#: (the load model's packing view; see docs/PLACEMENT.md).
+PLACEMENT_SHARD_COST = "repro_placement_shard_cost"
+#: Counter, label ``reason`` in {"hot_shard", "scale_in", "shard_killed",
+#: "shard_added", "manual"} — meetings live-migrated between shards.
+PLACEMENT_MIGRATIONS = "repro_placement_migrations_total"
+#: Counter, label ``action`` in {"add", "remove"} — autoscaler decisions
+#: executed (shards added on SLO burn / retired on sustained idle).
+AUTOSCALE_ACTIONS = "repro_autoscale_actions_total"
+
+#: Placement span names.
+SPAN_PLACEMENT_REBALANCE = "placement.rebalance"
+
+# --------------------------------------------------------------------- #
 # Chaos & invariant checking (repro.chaos)
 # --------------------------------------------------------------------- #
 
@@ -296,6 +316,10 @@ ALL_METRICS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     CLUSTER_SHARD_FAILOVERS: ("counter", ()),
     CLUSTER_FALLBACKS: ("counter", ()),
     CLUSTER_SOLVE_SECONDS: ("histogram", ()),
+    PLACEMENT_DECISIONS: ("counter", ("policy",)),
+    PLACEMENT_SHARD_COST: ("gauge", ("shard",)),
+    PLACEMENT_MIGRATIONS: ("counter", ("reason",)),
+    AUTOSCALE_ACTIONS: ("counter", ("action",)),
     CHAOS_FAULTS: ("counter", ("kind",)),
     CHAOS_CHECKS: ("counter", ("invariant",)),
     CHAOS_VIOLATIONS: ("counter", ("invariant",)),
@@ -320,6 +344,7 @@ ALL_SPANS: Tuple[str, ...] = (
     SPAN_CONTROLLER_TICK,
     SPAN_CLUSTER_TICK,
     SPAN_CLUSTER_SOLVE,
+    SPAN_PLACEMENT_REBALANCE,
     SPAN_CHAOS_RUN,
     SPAN_CHAOS_TICK,
     SPAN_POOL_SOLVE,

@@ -1,0 +1,170 @@
+"""SLO-driven shard autoscaling: burn → grow, sustained idle → shrink.
+
+The PR 4 SLO engine already classifies every report window into OK /
+WARN / BURN verdicts (:class:`~repro.obs.slo.SloVerdict`, with
+``fast_burn`` marking budget-burn-rate breaches).  This module closes
+the loop: a fast-burning latency SLO adds a shard; a fleet whose total
+assigned cost would comfortably fit on fewer shards for several
+consecutive observations drains the emptiest shard (live migration,
+no degraded serves) and retires it.
+
+Scale-in is deliberately the slow path — it requires ``idle_rounds``
+consecutive idle observations and drains *before* killing, so the
+``kill_shard`` that follows finds an empty shard and serves zero
+fallbacks.  All decisions derive from verdicts and the deterministic
+load model, so seeded runs scale identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+from ..obs import names as obs_names
+from ..obs.registry import get_registry
+
+if TYPE_CHECKING:  # placement -> cluster is typing-only (no runtime cycle)
+    from ..cluster.cluster import ControllerCluster
+    from ..obs.slo import SloVerdict
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Bounds and thresholds for :class:`ShardAutoscaler`."""
+
+    min_shards: int = 1
+    max_shards: int = 16
+    #: Per-shard cost budget used to judge idleness (usually the same
+    #: budget the hot-shard detector enforces); <= 0 disables scale-in.
+    shard_cost_budget: float = 0.0
+    #: Scale in when total assigned cost < this fraction of the budget
+    #: the *remaining* shards would offer after removing one.
+    idle_utilization: float = 0.3
+    #: Consecutive idle observations required before scaling in.
+    idle_rounds: int = 3
+
+    def __post_init__(self) -> None:
+        if self.min_shards < 1:
+            raise ValueError("min_shards must be >= 1")
+        if self.max_shards < self.min_shards:
+            raise ValueError("max_shards must be >= min_shards")
+        if not 0.0 < self.idle_utilization < 1.0:
+            raise ValueError("idle_utilization must be in (0, 1)")
+        if self.idle_rounds < 1:
+            raise ValueError("idle_rounds must be >= 1")
+
+
+@dataclass(frozen=True)
+class AutoscaleAction:
+    """One scaling decision, for reports and tests."""
+
+    action: str  # "add" | "remove"
+    shard: str
+    reason: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"action": self.action, "shard": self.shard,
+                "reason": self.reason}
+
+
+class ShardAutoscaler:
+    """Turns SLO verdicts + the load model into add/kill_shard calls."""
+
+    def __init__(
+        self,
+        cluster: "ControllerCluster",
+        config: AutoscalerConfig = AutoscalerConfig(),
+    ) -> None:
+        self.cluster = cluster
+        self.config = config
+        self._idle_streak = 0
+        #: action name -> count, deterministic mirror of the obs counter.
+        self.actions: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _burning(self, verdicts: Sequence["SloVerdict"]) -> List[str]:
+        return sorted(v.name for v in verdicts if v.fast_burn)
+
+    def _idle(self) -> bool:
+        cfg = self.config
+        if cfg.shard_cost_budget <= 0:
+            return False
+        live = self.cluster.live_shards
+        if len(live) <= cfg.min_shards:
+            return False
+        total = sum(self.cluster.load_model.loads(live).values())
+        capacity_after = cfg.shard_cost_budget * (len(live) - 1)
+        return total < cfg.idle_utilization * capacity_after
+
+    def _record(self, action: AutoscaleAction) -> None:
+        self.actions[action.action] = self.actions.get(action.action, 0) + 1
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(
+                obs_names.AUTOSCALE_ACTIONS, action=action.action
+            ).inc()
+
+    def observe(
+        self, verdicts: Sequence["SloVerdict"], now_s: float
+    ) -> List[AutoscaleAction]:
+        """Digest one SLO report; returns the actions taken (possibly
+        none).  At most one scaling action per observation — scaling is
+        damped, not reactive per-verdict."""
+        cluster = self.cluster
+        cfg = self.config
+        actions: List[AutoscaleAction] = []
+
+        burning = self._burning(verdicts)
+        if burning:
+            self._idle_streak = 0
+            if len(cluster.live_shards) < cfg.max_shards:
+                name = cluster.add_shard(None, now_s)
+                action = AutoscaleAction(
+                    action="add", shard=name,
+                    reason="slo_burn:" + ",".join(burning),
+                )
+                self._record(action)
+                actions.append(action)
+            return actions
+
+        if self._idle():
+            self._idle_streak += 1
+            if self._idle_streak >= cfg.idle_rounds:
+                self._idle_streak = 0
+                live = cluster.live_shards
+                loads = cluster.load_model.loads(live)
+                # Retire the emptiest shard: drain it live (no degraded
+                # serves), then kill_shard finds it empty.
+                victim = min(live, key=lambda s: (loads[s], s))
+                for mid, _cost in cluster.load_model.meetings_on(victim):
+                    others = [s for s in cluster.live_shards if s != victim]
+                    target = min(
+                        others,
+                        key=lambda s: (cluster.load_model.load(s), s),
+                    )
+                    cluster.migrate_meeting(
+                        mid, target, now_s, reason="scale_in", degrade=False
+                    )
+                cluster.kill_shard(victim, now_s)
+                action = AutoscaleAction(
+                    action="remove", shard=victim, reason="sustained_idle"
+                )
+                self._record(action)
+                actions.append(action)
+        else:
+            self._idle_streak = 0
+        return actions
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "actions": dict(sorted(self.actions.items())),
+            "idle_streak": self._idle_streak,
+            "config": {
+                "min_shards": self.config.min_shards,
+                "max_shards": self.config.max_shards,
+                "shard_cost_budget": self.config.shard_cost_budget,
+                "idle_utilization": self.config.idle_utilization,
+                "idle_rounds": self.config.idle_rounds,
+            },
+        }

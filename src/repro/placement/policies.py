@@ -1,0 +1,150 @@
+"""Pluggable placement policies: where does a new meeting go?
+
+One interface, three strategies (PAPERS.md *Tetris*):
+
+* ``hash`` — the consistent-hash ring, unchanged: load-blind but
+  minimal-movement under shard churn.  The byte-identical baseline every
+  pre-placement workload keeps.
+* ``best_fit`` — Tetris-style packing: among shards that can take the
+  meeting *without breaching the per-shard cost budget*, pick the
+  fullest (tightest remaining fit).  Packs heavy meetings tightly and
+  leaves headroom for the next heavy arrival.
+* ``least_loaded`` — always the emptiest shard: best instantaneous
+  balance, but fragments headroom (no bin-packing discipline).
+
+Every policy is deterministic: decisions derive only from the meeting
+id, its deterministic cost estimate, and the current assigned-cost loads
+— never from wall-clock signals — so seeded runs place identically.
+Ties break lexicographically by shard name.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Mapping, Sequence, Tuple
+
+if TYPE_CHECKING:  # placement -> cluster is typing-only (no runtime cycle)
+    from ..cluster.hashring import ConsistentHashRing
+
+#: Registered policy names, in documentation order.
+POLICY_HASH = "hash"
+POLICY_BEST_FIT = "best_fit"
+POLICY_LEAST_LOADED = "least_loaded"
+
+POLICIES: Tuple[str, ...] = (POLICY_HASH, POLICY_BEST_FIT, POLICY_LEAST_LOADED)
+
+
+class PlacementPolicy:
+    """The placement interface: one meeting in, one shard out."""
+
+    #: Stable registry name.
+    name: str = "base"
+    #: True when ring membership drives ownership (meetings re-home on
+    #: ring growth); packing policies keep placements sticky instead.
+    uses_ring: bool = False
+
+    def choose(
+        self,
+        meeting_id: str,
+        cost: float,
+        shards: Sequence[str],
+        loads: Mapping[str, float],
+        budget: float,
+        ring: "ConsistentHashRing",
+    ) -> str:
+        """Pick the shard for one meeting.
+
+        Args:
+            meeting_id: the meeting being placed.
+            cost: its deterministic cost estimate
+                (:func:`~repro.placement.loadmodel.meeting_cost`).
+            shards: live shard names, sorted.
+            loads: current assigned cost per live shard.
+            budget: per-shard cost budget (0 = unbounded).
+            ring: the cluster's consistent-hash ring (the ``hash``
+                policy's source of truth).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def _least_loaded(
+    shards: Sequence[str], loads: Mapping[str, float]
+) -> str:
+    return min(shards, key=lambda s: (loads.get(s, 0.0), s))
+
+
+class HashPolicy(PlacementPolicy):
+    """Today's baseline: the consistent-hash ring decides."""
+
+    name = POLICY_HASH
+    uses_ring = True
+
+    def choose(self, meeting_id, cost, shards, loads, budget, ring) -> str:
+        return ring.node_for(meeting_id)
+
+
+class BestFitPolicy(PlacementPolicy):
+    """Tetris packing: the fullest shard that still fits under budget.
+
+    With no budget (``budget <= 0``) or when nothing fits, it degrades
+    to least-loaded — overflow lands where it hurts least.
+    """
+
+    name = POLICY_BEST_FIT
+
+    def choose(self, meeting_id, cost, shards, loads, budget, ring) -> str:
+        if not shards:
+            raise ValueError("no live shards to place on")
+        if budget > 0:
+            feasible = [
+                s for s in shards if loads.get(s, 0.0) + cost <= budget
+            ]
+            if feasible:
+                # Tightest fit: highest current load; ties -> first name.
+                return max(
+                    feasible,
+                    key=lambda s: (loads.get(s, 0.0), *_name_desc(s)),
+                )
+        return _least_loaded(shards, loads)
+
+
+def _name_desc(name: str) -> Tuple[int, ...]:
+    """Invert a name's sort order so ``max`` breaks ties toward the
+    lexicographically *smallest* shard name."""
+    return tuple(-b for b in name.encode("utf-8"))
+
+
+class LeastLoadedPolicy(PlacementPolicy):
+    """Always the emptiest shard (by assigned cost)."""
+
+    name = POLICY_LEAST_LOADED
+
+    def choose(self, meeting_id, cost, shards, loads, budget, ring) -> str:
+        if not shards:
+            raise ValueError("no live shards to place on")
+        return _least_loaded(shards, loads)
+
+
+_POLICY_TYPES: Dict[str, type] = {
+    POLICY_HASH: HashPolicy,
+    POLICY_BEST_FIT: BestFitPolicy,
+    POLICY_LEAST_LOADED: LeastLoadedPolicy,
+}
+
+
+def get_policy(name: str) -> PlacementPolicy:
+    """Instantiate a registered policy by name.
+
+    Raises:
+        ValueError: for an unknown policy name (message lists the
+            known ones).
+    """
+    try:
+        return _POLICY_TYPES[name]()
+    except KeyError:
+        known = ", ".join(POLICIES)
+        raise ValueError(
+            f"unknown placement policy {name!r}; known: {known}"
+        ) from None

@@ -14,6 +14,7 @@ EXPECTED = {
     "publisher_churn",
     "stale_snapshot",
     "unfixable",
+    "hot_shard",
     "kitchen_sink",
 }
 

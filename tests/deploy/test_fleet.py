@@ -45,6 +45,14 @@ class TestFleetSampler:
         with pytest.raises(ValueError):
             FleetSampler(random.Random(0), mean_size=1.0)
 
+    def test_mean_size_exactly_two_samples_pair_calls(self):
+        # Regression: mean_size == 2 used to feed expovariate(1/0) and
+        # raise ZeroDivisionError; it means "no geometric tail" instead.
+        sampler = FleetSampler(random.Random(4), mean_size=2.0)
+        assert all(
+            sampler.sample_conference().size == 2 for _ in range(20)
+        )
+
 
 class TestScoring:
     def test_healthy_link_is_clean(self):

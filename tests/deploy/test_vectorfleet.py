@@ -1,0 +1,153 @@
+"""The vectorized fleet model behind the fleet-throughput gate."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.hashring import ConsistentHashRing
+from repro.deploy.fleet import score_subscriber
+from repro.deploy.vectorfleet import (
+    place_fleet,
+    sample_fleet,
+    sample_population,
+    score_subscribers_batch,
+    sustainable_rate,
+    throughput_report,
+)
+
+
+class TestSamplePopulation:
+    def test_deterministic_per_seed(self):
+        a = sample_population(3, 500)
+        b = sample_population(3, 500)
+        assert np.array_equal(a.uplink_kbps, b.uplink_kbps)
+        assert np.array_equal(a.downlink_kbps, b.downlink_kbps)
+        assert np.array_equal(a.loss_rate, b.loss_rate)
+        c = sample_population(4, 500)
+        assert not np.array_equal(a.uplink_kbps, c.uplink_kbps)
+
+    def test_floors_match_the_scalar_sampler(self):
+        pop = sample_population(1, 2000, day_quality=0.01)
+        assert pop.users == 2000
+        assert float(pop.uplink_kbps.min()) >= 100.0
+        assert float(pop.downlink_kbps.min()) >= 150.0
+        assert float(pop.loss_rate.min()) >= 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="users"):
+            sample_population(1, 0)
+
+
+class TestScoreBatchParity:
+    def test_matches_scalar_pointwise(self):
+        utils = np.linspace(0.0, 1.8, 37)
+        losses = np.linspace(0.0, 0.12, 37)
+        video, voice, fps = score_subscribers_batch(utils, losses)
+        for i in range(utils.size):
+            sv, so, sf = score_subscriber(float(utils[i]), float(losses[i]))
+            assert video[i] == pytest.approx(sv, abs=1e-12)
+            assert voice[i] == pytest.approx(so, abs=1e-12)
+            assert fps[i] == pytest.approx(sf, abs=1e-12)
+
+
+class TestSampleFleet:
+    def test_deterministic_per_seed(self):
+        a = sample_fleet(5, users=3000)
+        b = sample_fleet(5, users=3000)
+        assert np.array_equal(a.sizes, b.sizes)
+        assert np.array_equal(a.costs, b.costs)
+
+    def test_hosts_at_least_the_requested_users(self):
+        fleet = sample_fleet(2, users=3000)
+        assert fleet.users >= 3000
+        assert fleet.meetings == fleet.sizes.shape[0] == fleet.costs.shape[0]
+
+    def test_costs_are_squared_sizes(self):
+        fleet = sample_fleet(2, users=1000, webinars=2)
+        assert np.array_equal(fleet.costs, fleet.sizes.astype(float) ** 2)
+
+    def test_small_meetings_respect_max_size(self):
+        fleet = sample_fleet(2, users=3000, max_size=10, webinars=0)
+        assert int(fleet.sizes.max()) <= 10
+
+    def test_mean_size_two_means_all_pairs(self):
+        fleet = sample_fleet(2, users=500, mean_size=2.0, webinars=0)
+        assert set(np.unique(fleet.sizes)) == {2}
+
+    def test_webinars_present(self):
+        fleet = sample_fleet(
+            2, users=3000, webinars=4, webinar_size=(100, 120)
+        )
+        assert int((fleet.sizes >= 100).sum()) == 4
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError, match="users"):
+            sample_fleet(1, users=1)
+        with pytest.raises(ValueError, match="mean meeting size"):
+            sample_fleet(1, users=100, mean_size=1.0)
+        with pytest.raises(ValueError, match="webinars"):
+            sample_fleet(1, users=100, webinars=-1)
+
+
+class TestPlaceFleet:
+    def test_hash_matches_the_real_ring(self):
+        fleet = sample_fleet(3, users=2000)
+        placement = place_fleet(fleet, policy="hash", shards=4)
+        ring = ConsistentHashRing([f"shard-{i}" for i in range(4)])
+        for i in range(fleet.meetings):
+            expected = ring.node_for(fleet.meeting_id(i))
+            assert placement.shard_names[placement.assignment[i]] == expected
+
+    def test_shard_costs_account_every_meeting(self):
+        fleet = sample_fleet(3, users=2000)
+        for policy in ("hash", "best_fit", "least_loaded"):
+            placement = place_fleet(fleet, policy=policy, shards=4)
+            assert float(placement.shard_cost.sum()) == pytest.approx(
+                float(fleet.costs.sum())
+            )
+
+    def test_best_fit_packs_tighter_than_hash(self):
+        fleet = sample_fleet(8, users=20_000, webinars=8)
+        hash_p = place_fleet(fleet, policy="hash", shards=8)
+        best_p = place_fleet(fleet, policy="best_fit", shards=8)
+        assert float(best_p.shard_cost.max()) < float(hash_p.shard_cost.max())
+
+    def test_rejects_bad_shards(self):
+        with pytest.raises(ValueError, match="shards"):
+            place_fleet(sample_fleet(1, users=100), shards=0)
+
+
+class TestSustainableRate:
+    def test_tighter_packing_sustains_more(self):
+        fleet = sample_fleet(8, users=20_000, webinars=8)
+        hash_rate = sustainable_rate(
+            fleet, place_fleet(fleet, policy="hash", shards=8)
+        )
+        best_rate = sustainable_rate(
+            fleet, place_fleet(fleet, policy="best_fit", shards=8)
+        )
+        assert 0.0 < hash_rate < best_rate
+
+    def test_unmeetable_slo_rates_zero(self):
+        fleet = sample_fleet(8, users=20_000, webinars=8)
+        placement = place_fleet(fleet, policy="best_fit", shards=8)
+        assert sustainable_rate(fleet, placement, slo_p95_s=1e-9) == 0.0
+
+
+class TestThroughputReport:
+    def test_byte_deterministic(self):
+        import json
+
+        a = throughput_report(8, users=20_000, shards=8, webinars=8)
+        b = throughput_report(8, users=20_000, shards=8, webinars=8)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_contains_speedups_vs_hash(self):
+        report = throughput_report(8, users=20_000, shards=8, webinars=8)
+        assert set(report["policies"]) == {
+            "hash",
+            "best_fit",
+            "least_loaded",
+        }
+        assert report["speedup_best_fit_vs_hash"] > 1.0
+        for row in report["policies"].values():
+            assert row["meetings_per_s"] > 0.0

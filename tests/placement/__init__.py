@@ -1,0 +1,1 @@
+"""Tests for the fleet-placement subsystem (``repro.placement``)."""

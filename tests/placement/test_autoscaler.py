@@ -1,0 +1,154 @@
+"""SLO-driven shard autoscaling: burn -> grow, sustained idle -> shrink."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, ControllerCluster
+from repro.obs.slo import SloVerdict
+from repro.placement.autoscaler import AutoscalerConfig, ShardAutoscaler
+
+
+def verdict(name="solve_latency_p95", fast_burn=False):
+    return SloVerdict(
+        name=name,
+        description="",
+        measure="m",
+        threshold=1.0,
+        comparator="<=",
+        unit="s",
+        deterministic=True,
+        paper_ref="",
+        value=None,
+        recent_value=None,
+        ok=not fast_burn,
+        fast_burn=fast_burn,
+    )
+
+
+def make_cluster(**overrides):
+    defaults = dict(shards=3, placement="least_loaded")
+    defaults.update(overrides)
+    return ControllerCluster(ClusterConfig(**defaults))
+
+
+class TestConfigValidation:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="min_shards"):
+            AutoscalerConfig(min_shards=0)
+        with pytest.raises(ValueError, match="max_shards"):
+            AutoscalerConfig(min_shards=4, max_shards=2)
+        with pytest.raises(ValueError, match="idle_utilization"):
+            AutoscalerConfig(idle_utilization=1.5)
+        with pytest.raises(ValueError, match="idle_rounds"):
+            AutoscalerConfig(idle_rounds=0)
+
+
+class TestScaleOut:
+    def test_fast_burn_adds_a_shard(self):
+        with make_cluster() as cluster:
+            scaler = ShardAutoscaler(cluster, AutoscalerConfig(max_shards=4))
+            actions = scaler.observe([verdict(fast_burn=True)], 1.0)
+            assert len(cluster.live_shards) == 4
+            assert [a.action for a in actions] == ["add"]
+            assert actions[0].reason == "slo_burn:solve_latency_p95"
+            assert scaler.actions == {"add": 1}
+
+    def test_burn_reasons_list_every_burning_slo(self):
+        with make_cluster() as cluster:
+            scaler = ShardAutoscaler(cluster, AutoscalerConfig(max_shards=4))
+            actions = scaler.observe(
+                [
+                    verdict("b_slo", fast_burn=True),
+                    verdict("a_slo", fast_burn=True),
+                    verdict("ok_slo"),
+                ],
+                1.0,
+            )
+            assert actions[0].reason == "slo_burn:a_slo,b_slo"
+
+    def test_respects_max_shards(self):
+        with make_cluster() as cluster:
+            scaler = ShardAutoscaler(cluster, AutoscalerConfig(max_shards=3))
+            actions = scaler.observe([verdict(fast_burn=True)], 1.0)
+            assert actions == []
+            assert len(cluster.live_shards) == 3
+
+    def test_ok_verdicts_do_nothing(self):
+        with make_cluster() as cluster:
+            scaler = ShardAutoscaler(cluster, AutoscalerConfig())
+            assert scaler.observe([verdict()], 1.0) == []
+            assert len(cluster.live_shards) == 3
+
+
+class TestScaleIn:
+    def config(self):
+        return AutoscalerConfig(
+            min_shards=1,
+            max_shards=4,
+            shard_cost_budget=100.0,
+            idle_utilization=0.5,
+            idle_rounds=2,
+        )
+
+    def test_sustained_idle_drains_then_retires(self):
+        with make_cluster() as cluster:
+            for k in range(3):
+                cluster.register(f"m{k}")  # one cost-4 meeting per shard
+            scaler = ShardAutoscaler(cluster, self.config())
+            assert scaler.observe([verdict()], 1.0) == []  # streak 1
+            actions = scaler.observe([verdict()], 2.0)  # streak 2 -> remove
+            assert [a.action for a in actions] == ["remove"]
+            assert actions[0].reason == "sustained_idle"
+            assert len(cluster.live_shards) == 2
+            # The victim was drained live (seamless migrations, zero
+            # degraded serves) before kill_shard found it empty.
+            assert cluster.migrations == {"scale_in": 1}
+            live_loads = cluster.load_model.loads(cluster.live_shards)
+            assert sum(live_loads.values()) == 12.0
+
+    def test_idle_streak_resets_on_busy_observation(self):
+        with make_cluster() as cluster:
+            cluster.register("m0")
+            scaler = ShardAutoscaler(cluster, self.config())
+            scaler.observe([verdict()], 1.0)  # idle streak 1
+            grow = cluster.load_model
+            grow.update_cost("m0", 200.0)  # now busy
+            scaler.observe([verdict()], 2.0)  # resets the streak
+            grow.update_cost("m0", 4.0)  # idle again
+            assert scaler.observe([verdict()], 3.0) == []  # streak back to 1
+            assert len(cluster.live_shards) == 3
+
+    def test_burn_resets_idle_streak(self):
+        with make_cluster() as cluster:
+            cluster.register("m0")
+            scaler = ShardAutoscaler(cluster, self.config())
+            scaler.observe([verdict()], 1.0)  # idle streak 1
+            scaler.observe([verdict(fast_burn=True)], 2.0)  # add + reset
+            assert len(cluster.live_shards) == 4
+            assert scaler.observe([verdict()], 3.0) == []  # streak 1 again
+
+    def test_respects_min_shards(self):
+        with make_cluster(shards=1) as cluster:
+            scaler = ShardAutoscaler(cluster, self.config())
+            for t in range(5):
+                assert scaler.observe([verdict()], float(t)) == []
+            assert len(cluster.live_shards) == 1
+
+    def test_no_budget_disables_scale_in(self):
+        with make_cluster() as cluster:
+            scaler = ShardAutoscaler(
+                cluster, AutoscalerConfig(shard_cost_budget=0.0)
+            )
+            for t in range(5):
+                assert scaler.observe([verdict()], float(t)) == []
+            assert len(cluster.live_shards) == 3
+
+
+class TestStats:
+    def test_stats_shape(self):
+        with make_cluster() as cluster:
+            scaler = ShardAutoscaler(cluster, AutoscalerConfig(max_shards=4))
+            scaler.observe([verdict(fast_burn=True)], 1.0)
+            stats = scaler.stats()
+            assert stats["actions"] == {"add": 1}
+            assert stats["idle_streak"] == 0
+            assert stats["config"]["max_shards"] == 4

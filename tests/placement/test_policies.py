@@ -1,0 +1,111 @@
+"""The three placement policies behind one interface."""
+
+import pytest
+
+from repro.cluster.hashring import ConsistentHashRing
+from repro.placement.policies import (
+    POLICIES,
+    POLICY_BEST_FIT,
+    POLICY_HASH,
+    POLICY_LEAST_LOADED,
+    get_policy,
+)
+
+SHARDS = ["s0", "s1", "s2"]
+
+
+def ring():
+    return ConsistentHashRing(SHARDS)
+
+
+class TestRegistry:
+    def test_known_policies(self):
+        assert POLICIES == ("hash", "best_fit", "least_loaded")
+        for name in POLICIES:
+            assert get_policy(name).name == name
+
+    def test_unknown_policy_lists_known(self):
+        with pytest.raises(ValueError, match="best_fit"):
+            get_policy("round_robin")
+
+    def test_only_hash_uses_the_ring(self):
+        assert get_policy(POLICY_HASH).uses_ring
+        assert not get_policy(POLICY_BEST_FIT).uses_ring
+        assert not get_policy(POLICY_LEAST_LOADED).uses_ring
+
+
+class TestHashPolicy:
+    def test_delegates_to_the_ring(self):
+        policy = get_policy(POLICY_HASH)
+        r = ring()
+        for k in range(20):
+            mid = f"meeting-{k}"
+            assert (
+                policy.choose(mid, 4.0, SHARDS, {}, 0.0, r)
+                == r.node_for(mid)
+            )
+
+
+class TestBestFitPolicy:
+    def test_picks_fullest_that_fits(self):
+        policy = get_policy(POLICY_BEST_FIT)
+        loads = {"s0": 6.0, "s1": 8.0, "s2": 2.0}
+        # cost 2 fits everywhere under budget 10: tightest fit is s1.
+        assert policy.choose("m", 2.0, SHARDS, loads, 10.0, None) == "s1"
+
+    def test_skips_shards_that_would_breach_budget(self):
+        policy = get_policy(POLICY_BEST_FIT)
+        loads = {"s0": 6.0, "s1": 8.0, "s2": 2.0}
+        # cost 3: s1 would hit 11 > 10, so the fullest *fitting* is s0.
+        assert policy.choose("m", 3.0, SHARDS, loads, 10.0, None) == "s0"
+
+    def test_overflow_degrades_to_least_loaded(self):
+        policy = get_policy(POLICY_BEST_FIT)
+        loads = {"s0": 9.0, "s1": 9.0, "s2": 8.0}
+        # Nothing fits cost 5 under budget 10 -> emptiest shard.
+        assert policy.choose("m", 5.0, SHARDS, loads, 10.0, None) == "s2"
+
+    def test_no_budget_degrades_to_least_loaded(self):
+        policy = get_policy(POLICY_BEST_FIT)
+        loads = {"s0": 6.0, "s1": 8.0, "s2": 2.0}
+        assert policy.choose("m", 2.0, SHARDS, loads, 0.0, None) == "s2"
+
+    def test_ties_break_to_smallest_name(self):
+        policy = get_policy(POLICY_BEST_FIT)
+        loads = {"s0": 4.0, "s1": 4.0, "s2": 4.0}
+        assert policy.choose("m", 2.0, SHARDS, loads, 10.0, None) == "s0"
+
+    def test_empty_shard_list_raises(self):
+        with pytest.raises(ValueError, match="no live shards"):
+            get_policy(POLICY_BEST_FIT).choose("m", 2.0, [], {}, 10.0, None)
+
+
+class TestLeastLoadedPolicy:
+    def test_picks_emptiest(self):
+        policy = get_policy(POLICY_LEAST_LOADED)
+        loads = {"s0": 6.0, "s1": 1.0, "s2": 2.0}
+        assert policy.choose("m", 2.0, SHARDS, loads, 0.0, None) == "s1"
+
+    def test_ties_break_to_smallest_name(self):
+        policy = get_policy(POLICY_LEAST_LOADED)
+        assert policy.choose("m", 2.0, SHARDS, {}, 0.0, None) == "s0"
+
+    def test_empty_shard_list_raises(self):
+        with pytest.raises(ValueError, match="no live shards"):
+            get_policy(POLICY_LEAST_LOADED).choose(
+                "m", 2.0, [], {}, 0.0, None
+            )
+
+
+class TestDeterminism:
+    def test_choices_depend_only_on_arguments(self):
+        r = ring()
+        for name in POLICIES:
+            a = get_policy(name)
+            b = get_policy(name)
+            loads = {"s0": 3.0, "s1": 7.0, "s2": 5.0}
+            for k in range(10):
+                mid = f"m-{k}"
+                assert a.choose(mid, 4.0, SHARDS, loads, 12.0, r) == b.choose(
+                    mid, 4.0, SHARDS, dict(loads), 12.0, ring()
+                )

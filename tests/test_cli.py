@@ -113,3 +113,58 @@ class TestKernelReporting:
         err = capsys.readouterr().err
         assert err.startswith("repro solve: ")
         assert "Traceback" not in err
+
+
+class TestPlaceCommands:
+    def test_place_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["place"])
+
+    def test_place_run_prints_packing(self, capsys):
+        rc = main(
+            ["place", "run", "--policy", "best_fit", "--users", "2000",
+             "--shards", "4", "--webinars", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert '"policy": "best_fit"' in out
+        assert '"meetings_per_s"' in out
+
+    def test_place_compare_prints_speedups(self, capsys):
+        rc = main(
+            ["place", "compare", "--users", "2000", "--shards", "4",
+             "--webinars", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup_best_fit_vs_hash" in out
+        assert "least_loaded" in out
+
+    def test_place_compare_json_is_machine_readable(self, capsys):
+        import json
+
+        rc = main(
+            ["place", "compare", "--json", "--users", "2000",
+             "--shards", "4", "--webinars", "2"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["policies"]) == {
+            "hash", "best_fit", "least_loaded"
+        }
+
+    def test_place_stats_dumps_load_model(self, capsys):
+        rc = main(
+            ["place", "stats", "--policy", "best_fit", "--meetings", "4",
+             "--budget", "40"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rebalance:" in out
+        assert '"loads"' in out
+
+    def test_place_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["place", "run", "--policy", "round_robin"]
+            )
