@@ -57,6 +57,9 @@ class MeetingState:
     joined_seq: int = 0
     #: (version, Problem) history, newest last, bounded.
     snapshots: List[Tuple[int, Problem]] = field(default_factory=list)
+    #: Per-subscriber requested resolution (defaults to P720 full-mesh);
+    #: toggled by subscription-change events.
+    preferences: Dict[ClientId, Resolution] = field(default_factory=dict)
 
     @property
     def size(self) -> int:
@@ -170,6 +173,28 @@ class ChaosWorld:
         self._snapshot(state)
         return cid
 
+    def toggle_preference(
+        self, meeting_id: str, client: ClientId = ""
+    ) -> Tuple[ClientId, Resolution]:
+        """Flip one subscriber's requested resolution (P720 <-> P360).
+
+        Models a subscription change (speaker-view vs gallery-view): the
+        subscriber re-requests every followed publisher at the new
+        resolution.  An empty ``client`` picks the lexicographically
+        first participant.  Returns ``(client_id, new_resolution)``.
+        """
+        state = self._meetings[meeting_id]
+        cid = client or min(state.clients)
+        if cid not in state.clients:
+            raise KeyError(f"no client {cid!r} in {meeting_id}")
+        current = state.preferences.get(cid, Resolution.P720)
+        flipped = (
+            Resolution.P360 if current == Resolution.P720 else Resolution.P720
+        )
+        state.preferences[cid] = flipped
+        self._snapshot(state)
+        return cid, flipped
+
     def add_client(self, meeting_id: str) -> ClientId:
         """A new participant joins, drawn from the meeting's own RNG."""
         state = self._meetings[meeting_id]
@@ -222,7 +247,9 @@ class ChaosWorld:
                 for cid in ids
             },
             subscriptions=[
-                Subscription(a, b, Resolution.P720)
+                Subscription(
+                    a, b, state.preferences.get(a, Resolution.P720)
+                )
                 for a in ids
                 for b in ids
                 if a != b

@@ -70,3 +70,24 @@ class AdmissionController:
             if reg.enabled:
                 reg.counter(obs_names.CLUSTER_SHED).inc(len(shed))
         return admitted, shed
+
+    # -- continuous (event-driven) admission ---------------------------- #
+
+    def over_budget(self, in_flight: int) -> bool:
+        """Whether one more solve would exceed the concurrent budget.
+
+        The event-driven ingress has no scheduling rounds; the per-round
+        budget is reinterpreted as a bound on solves *in flight* at once.
+        """
+        return in_flight >= self.max_solves_per_round
+
+    def admit_one(self) -> None:
+        """Account one admitted continuous-path solve."""
+        self.stats.admitted += 1
+
+    def shed_one(self) -> None:
+        """Account one continuous-path shed (and bump the shared metric)."""
+        self.stats.shed += 1
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(obs_names.CLUSTER_SHED).inc()

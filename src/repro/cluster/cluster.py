@@ -461,6 +461,80 @@ class ControllerCluster:
             correlation_id=cid,
         ).solution
 
+    def solve_request(
+        self,
+        meeting_id: str,
+        problem: Problem,
+        now_s: float,
+        trigger: str = "event",
+        correlation_id: str = "",
+    ) -> ServedSolution:
+        """The continuous (event-driven) solve path: one request, served
+        now.
+
+        Unlike :meth:`submit`/:meth:`tick` there is no scheduling round —
+        the ingress plane (``repro.ingress``) owns debouncing, coalescing
+        and admission, and calls this exactly when a decision is due.
+        Routes through the meeting's shard for accounting, honors the
+        chaos interceptor and the fingerprint cache, and never raises:
+        failures degrade to the Sec. 7 single-stream fallback.
+        """
+        self.register(meeting_id, problem)
+        record = self._meetings[meeting_id]
+        worker = self._shards.get(record.shard)
+        if worker is not None:
+            worker.admission.admit_one()
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(
+                obs_names.CLUSTER_SOLVE_REQUESTS, trigger=trigger
+            ).inc()
+        try:
+            if self.solve_interceptor is not None:
+                self.solve_interceptor(meeting_id, problem)
+            solution, source = self._solve_service(problem)
+        except Exception:
+            solution = self._fallback(record, problem)
+            source = SOURCE_FALLBACK
+        return self._serve(
+            record,
+            problem,
+            solution,
+            source,
+            trigger,
+            now_s,
+            correlation_id=correlation_id,
+        )
+
+    def shed_request(
+        self,
+        meeting_id: str,
+        problem: Problem,
+        now_s: float,
+        trigger: str = "event",
+        correlation_id: str = "",
+    ) -> ServedSolution:
+        """Shed one continuous-path request: serve the Sec. 7 fallback.
+
+        The ingress backpressure ladder's last rung — the meeting gets a
+        serviceable (degraded) configuration instead of queueing deeper.
+        """
+        self.register(meeting_id, problem)
+        record = self._meetings[meeting_id]
+        worker = self._shards.get(record.shard)
+        if worker is not None:
+            worker.admission.shed_one()
+        solution = self._fallback(record, problem)
+        return self._serve(
+            record,
+            problem,
+            solution,
+            SOURCE_SHED,
+            trigger,
+            now_s,
+            correlation_id=correlation_id,
+        )
+
     # ------------------------------------------------------------------ #
     # The scheduling loop
     # ------------------------------------------------------------------ #

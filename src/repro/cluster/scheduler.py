@@ -215,6 +215,23 @@ class SolveScheduler:
         ready.sort(key=lambda r: (r.due_at_s, r.meeting_id))
         return ready
 
+    def backpressure_window_s(self, depth: int, capacity: int) -> float:
+        """The coalesce window for a mailbox at ``depth`` of ``capacity``.
+
+        The event-driven ingress reuses this scheduler's Fig. 12 envelope
+        as its backpressure policy: an empty mailbox debounces at the
+        ``min_interval_s`` floor, and the window widens linearly with
+        queue depth up to the ``max_interval_s`` ceiling — a falling-
+        behind meeting coalesces more reports per solve instead of
+        queueing further behind.
+        """
+        if depth <= 1 or capacity <= 1:
+            return self.min_interval_s
+        frac = min(1.0, (depth - 1) / (capacity - 1))
+        return self.min_interval_s + frac * (
+            self.max_interval_s - self.min_interval_s
+        )
+
     def mark_solved(self, meeting_id: str, problem: Problem, now_s: float) -> None:
         """Record a served solve (or fallback): resets both trigger clocks."""
         self._last_solve_s[meeting_id] = now_s

@@ -411,6 +411,33 @@ def _backtrack_optional(
     return picks
 
 
+def _backtrack_optional_batch(
+    grid_weights: Sequence[Sequence[int]],
+    choices,
+    n: int,
+    cols: np.ndarray,
+) -> np.ndarray:
+    """Backtrack every member of one shared DP table in one pass.
+
+    The scalar :func:`_backtrack_optional` walks the classes once *per
+    member*; here the class loop runs once for the whole group, gathering
+    each member's choice for class ``ci`` with a fancy index on its
+    current column and stepping all columns together.  Returns an
+    ``(members, n)`` int array using :data:`_NO_CHOICE` for skipped
+    classes — decision-for-decision identical to the scalar walk.
+    """
+    cols = np.array(cols, dtype=np.int64, copy=True)
+    picks = np.full((cols.shape[0], n), _NO_CHOICE, dtype=np.int64)
+    for ci in range(n - 1, -1, -1):
+        idx = np.asarray(choices[ci], dtype=np.int64)[cols]
+        picks[:, ci] = idx
+        gws = np.asarray(grid_weights[ci], dtype=np.int64)
+        if gws.size:
+            # idx == -1 (skip) legally gathers gws[-1]; the where masks it.
+            cols -= np.where(idx != _NO_CHOICE, gws[idx], 0)
+    return picks
+
+
 def _solve_mckp_dp_python(
     classes: Sequence[Sequence[Item]],
     capacity: int,
@@ -532,13 +559,22 @@ def solve_mckp_dp_batch(
         ]
         max_slots = max(instances[i][1] // granularity for i in idxs)
         value, choices = _dp_optional_table(classes, grid_weights, max_slots)
-        for i in idxs:
+        cols = np.fromiter(
+            (
+                int(np.argmax(value[: instances[i][1] // granularity + 1]))
+                for i in idxs
+            ),
+            dtype=np.int64,
+            count=len(idxs),
+        )
+        group_picks = _backtrack_optional_batch(
+            grid_weights, choices, len(classes), cols
+        )
+        for row, i in zip(group_picks, idxs):
             capacity = instances[i][1]
-            slots = capacity // granularity
-            col = int(np.argmax(value[: slots + 1]))
-            picks = _backtrack_optional(
-                grid_weights, choices, len(classes), col
-            )
+            picks: List[Optional[int]] = [
+                NO_PICK if p == _NO_CHOICE else int(p) for p in row
+            ]
             _emit_grid_slack(reg, classes, granularity, grid_weights, picks)
             results[i] = _finish(classes, picks, capacity)
     return results  # type: ignore[return-value]  # every slot is filled

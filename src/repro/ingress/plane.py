@@ -1,0 +1,592 @@
+"""The ingress plane: a continuous, event-driven control loop.
+
+This is the tentpole of the ingress subsystem.  Where the round-based
+cluster loop (:meth:`~repro.cluster.cluster.ControllerCluster.tick`)
+polls every shard on a fixed cadence, the plane reacts to the stream
+itself:
+
+1. **Dispatch.**  Every :class:`~repro.ingress.events.StreamEvent` is
+   offered to a per-meeting bounded :class:`~repro.ingress.mailbox.Mailbox`.
+   The offer mints a PR 4 correlation id and emits ``ingress_enqueued``;
+   stream faults (:mod:`repro.ingress.faults`) drop or re-schedule the
+   offer before it reaches a mailbox.
+2. **Coalesce + backpressure.**  A per-meeting worker coroutine opens a
+   decision window on the first event and sleeps
+   :meth:`~repro.cluster.scheduler.SolveScheduler.backpressure_window_s`
+   — the Fig. 12 envelope reused as the backpressure ladder.  The deeper
+   the mailbox, the wider the window, the more events one solve absorbs.
+3. **Shed.**  The ladder's last rung: a mailbox that overflowed, or an
+   executor already at the admission budget, degrades the decision to
+   the Sec. 7 ``single_stream_fallback`` via the backend's shed path.
+4. **Execute.**  Admitted decisions acquire an executor slot
+   (:class:`~repro.ingress.aio.VirtualSemaphore` around the cluster's
+   solve pool), spend a deterministic virtual service time, and commit.
+   In-flight solves overlap with ingestion — the dispatcher never
+   blocks on a solve.
+5. **Complete.**  The commit emits a ``tmmbr_push`` completion event
+   carrying the decision's correlation id (the id minted for the oldest
+   event in the drained batch), closing the causal chain end-to-end.
+
+Everything runs on the deterministic :class:`~repro.ingress.aio.SimRuntime`:
+same seed, same stream, same interleaving — byte-identical event logs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..obs import events as obs_events
+from ..obs import names as obs_names
+from ..obs.registry import get_registry
+from ..obs.spans import span
+from .aio import SimRuntime, VirtualSemaphore
+from .events import (
+    KIND_JOIN,
+    KIND_LEAVE,
+    KIND_LINK,
+    KIND_SEMB,
+    KIND_SUBSCRIPTION,
+    StreamEvent,
+)
+from .faults import DELAY, DROP, StreamFaultInjector
+from .mailbox import Envelope, Mailbox
+
+#: Decision outcomes (the ``source`` values a backend may report, matching
+#: the cluster's serve sources).
+OUTCOME_SHED = "shed"
+
+#: Shed reasons (the ``reason`` label of ``repro_ingress_shed_total``).
+SHED_OVERFLOW = "overflow"
+SHED_ADMISSION = "admission"
+
+
+@dataclass
+class IngressConfig:
+    """Tuning of one ingress plane."""
+
+    #: Bounded per-meeting mailbox capacity; overflow evicts the oldest
+    #: event and forces the next decision onto the shed rung.
+    mailbox_capacity: int = 16
+    #: Concurrent executor slots (solves in flight at once).
+    solve_slots: int = 4
+    #: Virtual seconds of solve service per unit of meeting cost.
+    service_s_per_cost: float = 1e-6
+    #: Floor on virtual solve service time (every solve takes > 0 time,
+    #: so in-flight solves genuinely overlap with ingestion).
+    service_floor_s: float = 0.002
+    #: Keep idle meetings refreshed on the Fig. 12 max-interval ceiling.
+    idle_refresh: bool = True
+    #: Extra virtual time after the last stream event for in-flight
+    #: decisions (and one trailing refresh window) to drain.
+    drain_s: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.mailbox_capacity < 1:
+            raise ValueError("mailbox_capacity must be >= 1")
+        if self.solve_slots < 1:
+            raise ValueError("solve_slots must be >= 1")
+        if self.service_s_per_cost < 0 or self.service_floor_s < 0:
+            raise ValueError("service times must be non-negative")
+        if self.drain_s < 0:
+            raise ValueError("drain_s must be non-negative")
+
+
+@dataclass
+class Decision:
+    """One committed configuration decision of the ingress plane."""
+
+    meeting: str
+    #: Correlation id of the oldest event in the drained batch — the id
+    #: that travels to the ``tmmbr_push`` completion event.
+    cid: str
+    #: Virtual time the decision window opened (oldest event offer).
+    opened_at_s: float
+    #: Virtual time the configuration committed (TMMBR push).
+    decided_at_s: float
+    #: Events folded into this decision.
+    batch: int
+    trigger: str
+    #: solve / cache / fallback / shed (the backend's serve source).
+    source: str
+    #: Canonical digest of the served solution (parity checks).
+    digest: str
+    #: Backend-specific payload the decision solved (e.g. a Problem).
+    payload: object = None
+    #: Backend-specific solution object (e.g. a Solution).
+    solution: object = None
+
+    @property
+    def latency_s(self) -> float:
+        """Virtual seconds from window open to committed configuration."""
+        return self.decided_at_s - self.opened_at_s
+
+
+@dataclass
+class PlaneStats:
+    """Dispatcher/worker accounting of one plane run."""
+
+    offered: int = 0
+    enqueued: int = 0
+    evicted: int = 0
+    dropped: int = 0
+    delayed: int = 0
+    decisions: int = 0
+    coalesced: int = 0
+    shed_overflow: int = 0
+    shed_admission: int = 0
+    idle_refreshes: int = 0
+    max_mailbox_depth: int = 0
+
+    @property
+    def shed(self) -> int:
+        return self.shed_overflow + self.shed_admission
+
+
+class IngressBackend:
+    """What the plane needs from a decision engine (duck-typed protocol).
+
+    :class:`ClusterBackend` adapts the real :class:`ControllerCluster`;
+    :class:`~repro.deploy.ingress_stream.ModeledBackend` implements the
+    same surface with the fleet cost model for 10^5-user benchmarks.
+    """
+
+    #: Fig. 12 envelope the plane paces itself with.
+    min_interval_s: float = 1.0
+    max_interval_s: float = 3.0
+
+    def apply_event(self, event: StreamEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def payload(self, meeting: str) -> object:  # pragma: no cover
+        raise NotImplementedError
+
+    def service_s(self, meeting: str, payload: object) -> float:
+        raise NotImplementedError  # pragma: no cover
+
+    def backpressure_window_s(
+        self, meeting: str, depth: int, capacity: int
+    ) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+    def over_budget(self, meeting: str, in_flight: int) -> bool:
+        raise NotImplementedError  # pragma: no cover
+
+    def decide(
+        self, meeting: str, payload: object, now_s: float, trigger: str,
+        cid: str,
+    ) -> "BackendDecision":  # pragma: no cover
+        raise NotImplementedError
+
+    def shed(
+        self, meeting: str, payload: object, now_s: float, trigger: str,
+        cid: str,
+    ) -> "BackendDecision":  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class BackendDecision:
+    """What a backend reports back for one committed decision."""
+
+    source: str
+    digest: str = ""
+    solution: object = None
+
+
+class ClusterBackend(IngressBackend):
+    """Adapts a :class:`ControllerCluster` + :class:`ChaosWorld` pair.
+
+    Events mutate the world at offer time (the world *is* the clients'
+    state; a dropped decision does not undo a bandwidth collapse), and
+    decisions solve the freshest world snapshot — exactly the snapshot
+    the newest batched event produced, since every mutation of a meeting
+    flows through that meeting's mailbox.
+    """
+
+    def __init__(self, cluster, world) -> None:
+        self.cluster = cluster
+        self.world = world
+        self.min_interval_s = cluster.config.min_interval_s
+        self.max_interval_s = cluster.config.max_interval_s
+
+    # -- world mutation at offer time --------------------------------- #
+
+    def apply_event(self, event: StreamEvent) -> None:
+        state = self.world.meeting(event.meeting)
+        if event.kind == KIND_SEMB:
+            return  # a report carries the picture; it does not change it
+        if event.kind == KIND_LINK:
+            client = event.client if event.client in state.clients else ""
+            self.world.scale_bandwidth(
+                event.meeting,
+                client,
+                up_scale=event.up_scale,
+                down_scale=event.down_scale,
+            )
+        elif event.kind == KIND_SUBSCRIPTION:
+            client = event.client if event.client in state.clients else ""
+            self.world.toggle_preference(event.meeting, client)
+        elif event.kind == KIND_JOIN:
+            self.world.add_client(event.meeting)
+        elif event.kind == KIND_LEAVE:
+            self.world.remove_client(event.meeting)
+
+    # -- decision side -------------------------------------------------- #
+
+    def payload(self, meeting: str) -> object:
+        return self.world.current_problem(meeting)
+
+    def service_s(self, meeting: str, payload: object) -> float:
+        from ..placement.loadmodel import meeting_cost
+
+        cost = meeting_cost(payload)
+        cfg = _plane_config(self)
+        return max(cfg.service_floor_s, cost * cfg.service_s_per_cost)
+
+    def backpressure_window_s(
+        self, meeting: str, depth: int, capacity: int
+    ) -> float:
+        shard = self.cluster.register(meeting)
+        worker = self.cluster._shards[shard]
+        return worker.scheduler.backpressure_window_s(depth, capacity)
+
+    def over_budget(self, meeting: str, in_flight: int) -> bool:
+        shard = self.cluster.register(meeting)
+        worker = self.cluster._shards[shard]
+        return worker.admission.over_budget(in_flight)
+
+    def decide(self, meeting, payload, now_s, trigger, cid):
+        served = self.cluster.solve_request(
+            meeting, payload, now_s, trigger=trigger, correlation_id=cid
+        )
+        return BackendDecision(
+            source=served.source,
+            digest=_solution_digest(served.solution),
+            solution=served.solution,
+        )
+
+    def shed(self, meeting, payload, now_s, trigger, cid):
+        served = self.cluster.shed_request(
+            meeting, payload, now_s, trigger=trigger, correlation_id=cid
+        )
+        return BackendDecision(
+            source=served.source,
+            digest=_solution_digest(served.solution),
+            solution=served.solution,
+        )
+
+
+def _solution_digest(solution) -> str:
+    from ..chaos.report import solution_digest
+
+    return solution_digest(solution)
+
+
+def _plane_config(backend) -> IngressConfig:
+    """The config of the plane a backend is mounted on (set by the plane)."""
+    return getattr(backend, "_plane_config", None) or IngressConfig()
+
+
+class IngressPlane:
+    """Dispatcher + per-meeting workers + bounded executor, on virtual time."""
+
+    def __init__(
+        self,
+        runtime: SimRuntime,
+        backend: IngressBackend,
+        config: Optional[IngressConfig] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.backend = backend
+        self.config = config or IngressConfig()
+        backend._plane_config = self.config
+        self.stats = PlaneStats()
+        self.decisions: List[Decision] = []
+        self.injector: Optional[StreamFaultInjector] = None
+        self._mailboxes: Dict[str, Mailbox] = {}
+        self._executor = VirtualSemaphore(runtime, self.config.solve_slots)
+        self._last_decision_s: Dict[str, float] = {}
+        self._seen_payload: Dict[str, bool] = {}
+        self._stop_at_s = float("inf")
+
+    # ------------------------------------------------------------------ #
+    # Dispatch (the ingress side)
+    # ------------------------------------------------------------------ #
+
+    def offer(self, event: StreamEvent) -> None:
+        """Offer one stream event to its meeting's mailbox, now."""
+        now = self.runtime.now
+        self.stats.offered += 1
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(obs_names.INGRESS_EVENTS, kind=event.kind).inc()
+        self.backend.apply_event(event)
+        box = self._mailbox(event.meeting)
+        log = obs_events.active_event_log()
+        cid = log.mint(event.meeting) if log is not None else ""
+        evicted = box.put(Envelope(event=event, cid=cid))
+        self.stats.enqueued += 1
+        if evicted is not None:
+            self.stats.evicted += 1
+        depth = box.depth
+        self.stats.max_mailbox_depth = max(self.stats.max_mailbox_depth, depth)
+        if reg.enabled:
+            reg.histogram(obs_names.INGRESS_MAILBOX_DEPTH).observe(depth)
+        if log is not None:
+            log.emit(
+                obs_events.INGRESS_ENQUEUED,
+                t=now,
+                meeting=event.meeting,
+                cid=cid,
+                event_kind=event.kind,
+                depth=depth,
+                seq=event.seq,
+            )
+
+    def _offer_faulted(self, event: StreamEvent) -> None:
+        """Dispatcher entry for scheduled stream events (fault-aware)."""
+        now = self.runtime.now
+        disposition, extra = (
+            self.injector.disposition(event)
+            if self.injector is not None
+            else ("deliver", 0.0)
+        )
+        reg = get_registry()
+        log = obs_events.active_event_log()
+        if disposition == DROP:
+            self.stats.dropped += 1
+            if reg.enabled:
+                reg.counter(obs_names.INGRESS_DROPPED_EVENTS).inc()
+            if log is not None:
+                log.emit(
+                    obs_events.FAULT_INJECTED,
+                    t=now,
+                    meeting=event.meeting,
+                    fault="drop_semb",
+                    seq=event.seq,
+                )
+            return
+        if disposition == DELAY:
+            self.stats.delayed += 1
+            if reg.enabled:
+                reg.counter(obs_names.INGRESS_DELAYED_EVENTS).inc()
+            if log is not None:
+                log.emit(
+                    obs_events.FAULT_INJECTED,
+                    t=now,
+                    meeting=event.meeting,
+                    fault="delay_semb",
+                    delay_s=round(extra, 6),
+                    seq=event.seq,
+                )
+            self.runtime.sim.schedule(extra, lambda e=event: self.offer(e))
+            return
+        self.offer(event)
+
+    def run_stream(
+        self,
+        events: Sequence[StreamEvent],
+        faults: Optional[StreamFaultInjector] = None,
+        duration_s: Optional[float] = None,
+    ) -> None:
+        """Schedule a whole stream and run it (plus drain) to completion.
+
+        Equal-time offers keep stream order: they are scheduled in stream
+        order up front and the simulator breaks time ties by insertion
+        sequence.
+        """
+        self.injector = faults
+        horizon = 0.0
+        for event in events:
+            horizon = max(horizon, event.at_s)
+            self.runtime.call_at(
+                event.at_s, lambda e=event: self._offer_faulted(e)
+            )
+        if duration_s is not None:
+            horizon = max(horizon, duration_s)
+        self._stop_at_s = horizon
+        self.runtime.run_until(horizon + self.config.drain_s)
+        self.runtime.raise_task_errors()
+
+    # ------------------------------------------------------------------ #
+    # Per-meeting decision workers
+    # ------------------------------------------------------------------ #
+
+    def _mailbox(self, meeting: str) -> Mailbox:
+        box = self._mailboxes.get(meeting)
+        if box is None:
+            box = Mailbox(self.runtime, capacity=self.config.mailbox_capacity)
+            self._mailboxes[meeting] = box
+            self.runtime.spawn(
+                self._worker(meeting, box), name=f"worker:{meeting}"
+            )
+        return box
+
+    async def _worker(self, meeting: str, box: Mailbox) -> None:
+        backend = self.backend
+        while True:
+            timeout = (
+                backend.max_interval_s if self.config.idle_refresh else None
+            )
+            env = await box.get(timeout_s=timeout)
+            now = self.runtime.now
+            if env is None:
+                # Fig. 12 ceiling: idle refresh from the last snapshot.
+                if now > self._stop_at_s:
+                    return
+                if not self._seen_payload.get(meeting):
+                    continue
+                self.stats.idle_refreshes += 1
+                await self._decide(meeting, box, batch=[], opened_at_s=now)
+                continue
+            if now > self._stop_at_s and env.event.kind == KIND_SEMB:
+                # Past the stream horizon only mutations still commit.
+                continue
+            # Open a decision window: widen with depth (the envelope as a
+            # backpressure ladder), floored at the Fig. 12 min interval.
+            window = backend.backpressure_window_s(
+                meeting, box.depth + 1, self.config.mailbox_capacity
+            )
+            last = self._last_decision_s.get(meeting)
+            if last is not None:
+                window = max(window, last + backend.min_interval_s - now)
+            await self.runtime.sleep(window)
+            batch = [env] + box.drain()
+            await self._decide(
+                meeting, box, batch=batch, opened_at_s=env.event.at_s
+            )
+
+    async def _decide(
+        self,
+        meeting: str,
+        box: Mailbox,
+        batch: List[Envelope],
+        opened_at_s: float,
+    ) -> None:
+        runtime = self.runtime
+        backend = self.backend
+        reg = get_registry()
+        log = obs_events.active_event_log()
+        now = runtime.now
+        if batch:
+            trigger = "event"
+            cid = batch[0].cid
+        else:
+            trigger = "time"
+            cid = log.mint(meeting) if log is not None else ""
+            if log is not None:
+                log.emit(
+                    obs_events.TIME_TRIGGER, t=now, meeting=meeting, cid=cid
+                )
+        coalesced = max(0, len(batch) - 1)
+        if coalesced:
+            self.stats.coalesced += coalesced
+            if reg.enabled:
+                reg.counter(obs_names.INGRESS_COALESCED).inc(coalesced)
+        if log is not None and batch:
+            log.emit(
+                obs_events.INGRESS_DEQUEUED,
+                t=now,
+                meeting=meeting,
+                cid=cid,
+                batch=len(batch),
+                coalesced=coalesced,
+            )
+        payload = backend.payload(meeting)
+        self._seen_payload[meeting] = True
+        overflowed = box.take_overflow()
+        shed_reason = ""
+        if overflowed:
+            shed_reason = SHED_OVERFLOW
+        elif backend.over_budget(
+            meeting, self._executor.in_use + self._executor.waiting
+        ):
+            shed_reason = SHED_ADMISSION
+        with span(obs_names.SPAN_INGRESS_DECIDE):
+            if shed_reason:
+                if shed_reason == SHED_OVERFLOW:
+                    self.stats.shed_overflow += 1
+                else:
+                    self.stats.shed_admission += 1
+                if reg.enabled:
+                    reg.counter(
+                        obs_names.INGRESS_SHED, reason=shed_reason
+                    ).inc()
+                if log is not None:
+                    log.emit(
+                        obs_events.INGRESS_SHED,
+                        t=now,
+                        meeting=meeting,
+                        cid=cid,
+                        reason=shed_reason,
+                    )
+                result = backend.shed(meeting, payload, now, trigger, cid)
+            else:
+                await self._executor.acquire()
+                try:
+                    await runtime.sleep(backend.service_s(meeting, payload))
+                    result = backend.decide(
+                        meeting, payload, runtime.now, trigger, cid
+                    )
+                finally:
+                    self._executor.release()
+        decided_at = runtime.now
+        decision = Decision(
+            meeting=meeting,
+            cid=cid,
+            opened_at_s=opened_at_s,
+            decided_at_s=decided_at,
+            batch=len(batch),
+            trigger=trigger,
+            source=result.source,
+            digest=result.digest,
+            payload=payload,
+            solution=result.solution,
+        )
+        self.decisions.append(decision)
+        self.stats.decisions += 1
+        self._last_decision_s[meeting] = decided_at
+        if reg.enabled:
+            reg.histogram(obs_names.INGRESS_DECISION_SECONDS).observe(
+                decision.latency_s
+            )
+        if log is not None:
+            log.emit(
+                obs_events.TMMBR_PUSH,
+                t=decided_at,
+                meeting=meeting,
+                cid=cid,
+                source=result.source,
+                latency_s=round(decision.latency_s, 6),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def meetings(self) -> List[str]:
+        """Meetings with a live mailbox, sorted."""
+        return sorted(self._mailboxes)
+
+    def mailbox_stats(self) -> Dict[str, object]:
+        """Aggregate mailbox accounting across meetings."""
+        return {
+            meeting: {
+                "enqueued": box.stats.enqueued,
+                "dequeued": box.stats.dequeued,
+                "evicted": box.stats.evicted,
+                "max_depth": box.stats.max_depth,
+            }
+            for meeting, box in sorted(self._mailboxes.items())
+        }
+
+    def latency_percentile_s(self, q: float) -> float:
+        """Nearest-rank percentile of virtual decision latency."""
+        if not self.decisions:
+            return 0.0
+        latencies = sorted(d.latency_s for d in self.decisions)
+        rank = max(1, math.ceil(q * len(latencies)))
+        return latencies[min(len(latencies), rank) - 1]

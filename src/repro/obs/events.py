@@ -76,6 +76,13 @@ SHARD_KILLED = "shard_killed"
 SHARD_ADDED = "shard_added"
 #: A meeting was re-homed onto another shard.
 MEETING_REHOMED = "meeting_rehomed"
+#: A stream event entered a meeting's ingress mailbox (mints the cid of
+#: the decision window it opens).
+INGRESS_ENQUEUED = "ingress_enqueued"
+#: A decision window closed: its mailbox batch was drained for a solve.
+INGRESS_DEQUEUED = "ingress_dequeued"
+#: The backpressure ladder shed a decision to the single-stream fallback.
+INGRESS_SHED = "ingress_shed"
 
 #: Every built-in event kind, for docs and validation.
 ALL_EVENT_KINDS = (
@@ -90,6 +97,9 @@ ALL_EVENT_KINDS = (
     SHARD_KILLED,
     SHARD_ADDED,
     MEETING_REHOMED,
+    INGRESS_ENQUEUED,
+    INGRESS_DEQUEUED,
+    INGRESS_SHED,
 )
 
 

@@ -236,6 +236,34 @@ SPAN_CHAOS_RUN = "chaos.run"
 SPAN_CHAOS_TICK = "chaos.tick"
 
 # --------------------------------------------------------------------- #
+# Event-driven ingress plane (repro.ingress)
+# --------------------------------------------------------------------- #
+
+#: Counter, label ``kind`` in {"semb", "link_estimate", "subscription",
+#: "publisher_join", "publisher_leave"} — stream events offered to the
+#: ingress dispatcher, by event kind.
+INGRESS_EVENTS = "repro_ingress_events_total"
+#: Counter — events folded into an already-open decision window (the
+#: mailbox coalesce, mirroring ``repro_cluster_coalesced_total``).
+INGRESS_COALESCED = "repro_ingress_coalesced_total"
+#: Counter, label ``reason`` in {"overflow", "admission"} — decisions
+#: shed to the Sec. 7 single-stream fallback by the backpressure ladder.
+INGRESS_SHED = "repro_ingress_shed_total"
+#: Counter — stream events dropped by an injected SEMB-loss fault.
+INGRESS_DROPPED_EVENTS = "repro_ingress_dropped_events_total"
+#: Counter — stream events held back by an injected SEMB-delay fault.
+INGRESS_DELAYED_EVENTS = "repro_ingress_delayed_events_total"
+#: Histogram — mailbox depth observed at each decision.
+INGRESS_MAILBOX_DEPTH = "repro_ingress_mailbox_depth"
+#: Histogram — virtual seconds from the oldest event of a decision
+#: window to its TMMBR completion (the bounded p95 the benchmark gates).
+INGRESS_DECISION_SECONDS = "repro_ingress_decision_latency_seconds"
+
+#: Ingress span names.
+SPAN_INGRESS_RUN = "ingress.run"
+SPAN_INGRESS_DECIDE = "ingress.decide"
+
+# --------------------------------------------------------------------- #
 # Telemetry pipeline (repro.obs.events / timeseries / slo)
 # --------------------------------------------------------------------- #
 
@@ -325,6 +353,13 @@ ALL_METRICS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     CHAOS_VIOLATIONS: ("counter", ("invariant",)),
     CHAOS_RUNS: ("counter", ("verdict",)),
     CHAOS_RECOVERY_TICKS: ("histogram", ()),
+    INGRESS_EVENTS: ("counter", ("kind",)),
+    INGRESS_COALESCED: ("counter", ()),
+    INGRESS_SHED: ("counter", ("reason",)),
+    INGRESS_DROPPED_EVENTS: ("counter", ()),
+    INGRESS_DELAYED_EVENTS: ("counter", ()),
+    INGRESS_MAILBOX_DEPTH: ("histogram", ()),
+    INGRESS_DECISION_SECONDS: ("histogram", ()),
     EVENTS_EMITTED: ("counter", ("kind",)),
     EVENTS_DROPPED: ("counter", ()),
     TIMESERIES_POINTS: ("counter", ()),
@@ -347,6 +382,8 @@ ALL_SPANS: Tuple[str, ...] = (
     SPAN_PLACEMENT_REBALANCE,
     SPAN_CHAOS_RUN,
     SPAN_CHAOS_TICK,
+    SPAN_INGRESS_RUN,
+    SPAN_INGRESS_DECIDE,
     SPAN_POOL_SOLVE,
     SPAN_SLO_EVALUATE,
 )

@@ -1,0 +1,70 @@
+"""Tests for the fleet-scale ingress stream (``repro.deploy.ingress_stream``)."""
+
+from repro.deploy.ingress_stream import (
+    FleetStreamConfig,
+    ModeledBackend,
+    canonical_digest,
+    generate_fleet_stream,
+    run_fleet_ingress,
+)
+from repro.deploy.vectorfleet import sample_fleet
+
+#: Small fleet so the tier-1 suite stays fast; the 10^5-user operating
+#: point lives in benchmarks/test_ingress_throughput.py.
+USERS = 2_000
+SEED = 8
+
+
+class TestGenerateFleetStream:
+    def test_stream_is_seed_deterministic(self):
+        fleet = sample_fleet(SEED, USERS)
+        a = generate_fleet_stream(SEED, fleet)
+        b = generate_fleet_stream(SEED, fleet)
+        assert a == b
+        assert a != generate_fleet_stream(SEED + 1, fleet)
+
+    def test_one_report_per_meeting_per_round(self):
+        cfg = FleetStreamConfig(duration_s=2.0, report_interval_s=1.0)
+        fleet = sample_fleet(SEED, USERS)
+        stream = generate_fleet_stream(SEED, fleet, cfg)
+        assert len(stream) == 2 * fleet.meetings
+        assert [e.seq for e in stream] == list(range(len(stream)))
+        keyed = [(e.at_s, e.seq) for e in stream]
+        assert keyed == sorted(keyed)
+        assert all(0.0 <= e.at_s < 2.0 for e in stream)
+
+
+class TestModeledBackend:
+    def test_payload_is_the_meeting_cost(self):
+        fleet = sample_fleet(SEED, USERS)
+        backend = ModeledBackend(fleet, FleetStreamConfig())
+        meeting = fleet.meeting_id(3)
+        assert backend.payload(meeting) == float(fleet.costs[3])
+
+    def test_decision_tags_count_per_meeting(self):
+        fleet = sample_fleet(SEED, USERS)
+        backend = ModeledBackend(fleet, FleetStreamConfig())
+        meeting = fleet.meeting_id(0)
+        first = backend.decide(meeting, 1.0, 0.0, "event", "")
+        second = backend.decide(meeting, 1.0, 0.0, "event", "")
+        assert (first.digest, second.digest) == (
+            f"{meeting}#1", f"{meeting}#2"
+        )
+
+
+class TestRunFleetIngress:
+    def test_canonical_half_is_byte_deterministic(self):
+        first = run_fleet_ingress(SEED, users=USERS)
+        second = run_fleet_ingress(SEED, users=USERS)
+        assert canonical_digest(first) == canonical_digest(second)
+        assert first["canonical"] == second["canonical"]
+
+    def test_every_meeting_decides_within_the_latency_gate(self):
+        result = run_fleet_ingress(SEED, users=USERS)
+        canonical = result["canonical"]
+        assert canonical["decisions"] > 0
+        assert canonical["offered"] == canonical["events"]
+        assert canonical["shed"] == 0
+        # The benchmark's unconditional gate, enforced at test scale too.
+        assert canonical["latency"]["p95_s"] <= 0.25
+        assert result["wall"]["events_per_sec"] > 0

@@ -1,0 +1,125 @@
+"""Tests for the bounded per-meeting mailbox (``repro.ingress.mailbox``).
+
+Includes the PR's property test: FIFO-per-meeting order and
+oldest-evicted overflow under arbitrary put sequences.
+"""
+
+import pytest
+
+from repro.ingress.aio import SimRuntime
+from repro.ingress.events import SembReport
+from repro.ingress.mailbox import Envelope, Mailbox
+
+
+def _env(i, meeting="m"):
+    return Envelope(
+        event=SembReport(at_s=float(i), meeting=meeting, seq=i),
+        cid=f"{meeting}#{i}",
+    )
+
+
+class TestMailboxBasics:
+    def test_put_then_drain_is_fifo(self):
+        box = Mailbox(SimRuntime(), capacity=8)
+        for i in range(5):
+            assert box.put(_env(i)) is None
+        assert [e.event.seq for e in box.drain()] == [0, 1, 2, 3, 4]
+        assert box.depth == 0
+        assert box.stats.enqueued == 5
+        assert box.stats.dequeued == 5
+        assert box.stats.max_depth == 5
+
+    def test_overflow_evicts_oldest(self):
+        box = Mailbox(SimRuntime(), capacity=2)
+        assert box.put(_env(0)) is None
+        assert box.put(_env(1)) is None
+        evicted = box.put(_env(2))
+        assert evicted is not None and evicted.event.seq == 0
+        assert [e.event.seq for e in box.drain()] == [1, 2]
+        assert box.stats.evicted == 1
+
+    def test_overflow_flag_is_read_and_clear(self):
+        box = Mailbox(SimRuntime(), capacity=1)
+        box.put(_env(0))
+        box.put(_env(1))
+        assert box.take_overflow() is True
+        assert box.take_overflow() is False
+
+    def test_get_wakes_on_put(self):
+        runtime = SimRuntime()
+        box = Mailbox(runtime, capacity=4)
+        got = []
+
+        async def consumer():
+            got.append(await box.get())
+
+        runtime.spawn(consumer())
+        runtime.call_at(1.0, lambda: box.put(_env(7)))
+        runtime.run_until(5.0)
+        runtime.raise_task_errors()
+        assert [e.event.seq for e in got] == [7]
+
+    def test_get_times_out_to_none(self):
+        runtime = SimRuntime()
+        box = Mailbox(runtime, capacity=4)
+        got = []
+
+        async def consumer():
+            got.append(await box.get(timeout_s=2.0))
+            got.append(runtime.now)
+
+        runtime.spawn(consumer())
+        runtime.run_until(5.0)
+        runtime.raise_task_errors()
+        assert got == [None, 2.0]
+
+    def test_second_waiter_rejected(self):
+        runtime = SimRuntime()
+        box = Mailbox(runtime, capacity=4)
+
+        async def consumer():
+            await box.get()
+
+        runtime.spawn(consumer())
+        runtime.spawn(consumer())
+        runtime.run_until(1.0)
+        with pytest.raises(RuntimeError, match="waiting consumer"):
+            runtime.raise_task_errors()
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            Mailbox(SimRuntime(), capacity=0)
+
+
+class TestMailboxFifoProperty:
+    def test_fifo_and_oldest_eviction_property(self):
+        """Property: survivors are the newest ``capacity`` puts, in put
+        order; everything older was evicted oldest-first; the overflow
+        flag is set iff an eviction happened."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=120, deadline=None)
+        @given(
+            n=st.integers(min_value=1, max_value=50),
+            capacity=st.integers(min_value=1, max_value=8),
+        )
+        def run(n, capacity):
+            box = Mailbox(SimRuntime(), capacity=capacity)
+            evicted = []
+            for i in range(n):
+                out = box.put(_env(i))
+                if out is not None:
+                    evicted.append(out.event.seq)
+            survivors = [e.event.seq for e in box.drain()]
+            keep = min(n, capacity)
+            assert survivors == list(range(n - keep, n))
+            assert evicted == list(range(n - keep))
+            assert box.stats.evicted == n - keep
+            assert box.stats.enqueued == n
+            assert box.stats.dequeued == keep
+            assert box.stats.max_depth == keep
+            assert box.take_overflow() is (n > capacity)
+            assert box.take_overflow() is False
+
+        run()

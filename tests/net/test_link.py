@@ -228,3 +228,82 @@ class TestFaultyLink:
         inner = Link(sim, bandwidth_kbps=1000, name="inner")
         faulty = FaultyLink(sim, inner)
         assert faulty.name == "inner"
+
+
+class TestFaultyLinkDelay:
+    def test_delay_window_holds_and_releases(self):
+        sim = Simulator()
+        faulty = FaultyLink(sim, Link(sim, bandwidth_kbps=10_000, propagation_ms=0))
+        faulty.add_delay_window(0.0, 1.0, 0.5)
+        received = collect(faulty)
+        assert faulty.send(pkt(100)) is True
+        sim.run_until(0.4)
+        assert received == []  # still held
+        sim.run_until(2.0)
+        assert len(received) == 1
+        assert received[0][1] >= 0.5
+        assert faulty.injected_delays == 1
+
+    def test_outside_window_passes_through(self):
+        sim = Simulator()
+        faulty = FaultyLink(sim, Link(sim, bandwidth_kbps=10_000, propagation_ms=0))
+        faulty.add_delay_window(1.0, 2.0, 0.5)
+        received = collect(faulty)
+        faulty.send(pkt(100))
+        sim.run_until(0.5)
+        assert len(received) == 1
+        assert faulty.injected_delays == 0
+
+    def test_equal_release_times_keep_offer_order(self):
+        """Regression: two deliveries sharing a release timestamp must
+        replay in (time, sequence) order — the order they were offered."""
+        sim = Simulator()
+        faulty = FaultyLink(sim, Link(sim, bandwidth_kbps=10_000, propagation_ms=0))
+        # Packet A offered at t=0.1 held 0.4 s, packet B offered at
+        # t=0.3 held 0.2 s: both release at exactly t=0.5.
+        faulty.add_delay_window(0.0, 0.2, 0.4)
+        faulty.add_delay_window(0.2, 0.4, 0.2)
+        received = collect(faulty)
+        sim.schedule_at(0.1, lambda: faulty.send(Packet(payload="A", size_bytes=100)))
+        sim.schedule_at(0.3, lambda: faulty.send(Packet(payload="B", size_bytes=100)))
+        sim.run_until(2.0)
+        assert [p.payload for p, _ in received] == ["A", "B"]
+
+    def test_equal_release_order_is_replay_stable(self):
+        def run_once():
+            sim = Simulator()
+            faulty = FaultyLink(
+                sim, Link(sim, bandwidth_kbps=10_000, propagation_ms=0)
+            )
+            faulty.add_delay_window(0.0, 1.0, 0.25)
+            received = collect(faulty)
+            for k in range(8):
+                payload = k
+                sim.schedule_at(
+                    0.5,
+                    lambda p=payload: faulty.send(
+                        Packet(payload=p, size_bytes=100)
+                    ),
+                )
+            sim.run_until(5.0)
+            return [p.payload for p, _ in received]
+
+        first, second = run_once(), run_once()
+        assert first == list(range(8))
+        assert first == second
+
+    def test_overlapping_windows_compound(self):
+        sim = Simulator()
+        faulty = FaultyLink(sim, Link(sim, bandwidth_kbps=10_000, propagation_ms=0))
+        faulty.add_delay_window(0.0, 1.0, 0.3)
+        faulty.add_delay_window(0.0, 1.0, 0.2)
+        assert faulty.delay_at(0.5) == pytest.approx(0.5)
+        assert faulty.delay_at(1.5) is None
+
+    def test_rejects_bad_delay_window(self):
+        sim = Simulator()
+        faulty = FaultyLink(sim, Link(sim, bandwidth_kbps=1000))
+        with pytest.raises(ValueError):
+            faulty.add_delay_window(2.0, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            faulty.add_delay_window(1.0, 2.0, -0.1)
