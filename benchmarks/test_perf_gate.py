@@ -40,8 +40,11 @@ from repro.chaos import ChaosConfig, ChaosRunner, get_scenario
 from repro.cluster import ClusterConfig, ControllerCluster
 from repro.core.solver import GsoSolver, SolverConfig
 from repro.obs import enabled_registry, record_timeseries
+from repro.obs.tracing import assemble_trees
 
-BENCH_SCHEMA = "repro.bench_pr4/v1"
+#: v2: chaos_events carries the trace digest and per-stage critical-path
+#: latency attribution (p95 per stage), used for the failure diff.
+BENCH_SCHEMA = "repro.bench_pr4/v2"
 BASELINE_PATH = Path(__file__).parent / "baselines" / "BENCH_PR4.json"
 RESULT_PATH = OUT_DIR / "BENCH_PR4.json"
 SAMPLE_EVENTS_PATH = OUT_DIR / "sample_events.jsonl"
@@ -138,7 +141,14 @@ def _cluster_cache() -> Dict[str, object]:
 
 
 def _chaos_events() -> Dict[str, object]:
-    """Workload 3: full chaos run with the telemetry pipeline enabled."""
+    """Workload 3: full chaos run with the telemetry pipeline enabled.
+
+    Also assembles the trace plane and records per-stage critical-path
+    p95 latencies (virtual clock) — the attribution the gate's failure
+    output diffs against the baseline.  Attribution exactness (stage
+    durations sum to each decision's end-to-end latency) is asserted
+    unconditionally here, on the fixed gate workload.
+    """
     config = ChaosConfig(seed=1, meetings=4, duration_s=10.0, shards=2)
     scenario = get_scenario("bandwidth_collapse")
     runner = ChaosRunner(
@@ -149,13 +159,61 @@ def _chaos_events() -> Dict[str, object]:
         report = runner.run()
     wall_s = time.perf_counter() - start
     runner.events.write_jsonl(SAMPLE_EVENTS_PATH)
+
+    traces = assemble_trees(runner.events.events)
+    for tree in traces.trees():
+        attributed = sum(tree.stage_durations().values())
+        assert abs(attributed - tree.latency_s) < 1e-9, (
+            f"critical-path attribution not exact for {tree.cid}: "
+            f"stages sum to {attributed} but latency is {tree.latency_s}"
+        )
+    stages: Dict[str, Dict[str, float]] = {}
+    for stage, samples in traces.stage_latencies().items():
+        durations = sorted(d for (_, d) in samples)
+        stages[stage] = {
+            "count": len(durations),
+            "p95_ms": round(_percentile(durations, 95.0) * 1000, 4),
+        }
     return {
         "events": runner.events.emitted,
         "event_digest": runner.events.digest(),
+        "trace_digest": traces.digest(),
+        "stages": stages,
         "slo_ok": report.slo_ok,
         "ok": report.ok,
         "wall_s": round(wall_s, 4),
     }
+
+
+def _stage_diff(result: dict, baseline: dict) -> str:
+    """Per-stage attribution diff vs the baseline, worst regression first.
+
+    Names the stage whose p95 grew the most — the gate's failure output
+    points at *where* the time went instead of a bare end-to-end number.
+    """
+    current = result["workloads"]["chaos_events"].get("stages", {})
+    base = baseline["workloads"]["chaos_events"].get("stages", {})
+    if not current or not base:
+        return "stage attribution unavailable (regenerate the baseline)"
+    rows = []
+    for stage in sorted(set(current) | set(base)):
+        cur_p95 = float(current.get(stage, {}).get("p95_ms", 0.0))
+        base_p95 = float(base.get(stage, {}).get("p95_ms", 0.0))
+        delta = cur_p95 - base_p95
+        rows.append((delta, stage, base_p95, cur_p95))
+    rows.sort(reverse=True)
+    worst_delta, worst_stage, _, _ = rows[0]
+    parts = [
+        f"{stage}: {base_p95:.3f} -> {cur_p95:.3f} ms ({delta:+.3f})"
+        for delta, stage, base_p95, cur_p95 in rows
+    ]
+    verdict = (
+        f"worst-regressed stage: {worst_stage} ({worst_delta:+.3f} ms p95)"
+        if worst_delta > 0
+        else "no stage regressed (end-to-end change is outside the "
+             "traced pipeline)"
+    )
+    return verdict + "; " + "; ".join(parts)
 
 
 def _compare(result: dict, baseline: dict) -> List[str]:
@@ -172,7 +230,8 @@ def _compare(result: dict, baseline: dict) -> List[str]:
         failures.append(
             f"solver_mesh p95 {current_p95:.3f} ms > allowed "
             f"{allowed_p95:.3f} ms (baseline {base_p95:.3f} ms, "
-            f"calibration ratio {ratio:.2f})"
+            f"calibration ratio {ratio:.2f}); "
+            f"stage attribution: {_stage_diff(result, baseline)}"
         )
 
     base_hit = baseline["workloads"]["cluster_cache"]["hit_rate"]
@@ -215,6 +274,10 @@ def test_perf_gate():
         f"{cache['serves']} serves)",
         f"chaos_events       : {chaos['events']} events  "
         f"digest={chaos['event_digest'][:16]}  wall={chaos['wall_s']:.3f} s",
+        "stage p95 (virtual): " + "  ".join(
+            f"{stage}={info['p95_ms']:.1f}ms"
+            for stage, info in sorted(chaos["stages"].items())
+        ) + f"  trace_digest={chaos['trace_digest'][:16]}",
         f"wrote {RESULT_PATH.relative_to(OUT_DIR.parent)} and "
         f"{SAMPLE_EVENTS_PATH.relative_to(OUT_DIR.parent)}",
     ]

@@ -20,7 +20,9 @@ from ..core.solution import Solution
 #: Report schema tag; bump on any encoding change.
 #: v2: serves carry correlation ids, and the report embeds deterministic
 #: SLO verdicts plus the event-log digest.
-REPORT_SCHEMA = "repro.chaos_report/v2"
+#: v3: the report embeds the assembled trace-plane digest, and the SLO
+#: block includes per-stage latency-budget verdicts.
+REPORT_SCHEMA = "repro.chaos_report/v3"
 
 
 def solution_digest(solution: Solution) -> str:
@@ -71,6 +73,9 @@ class RunReport:
         events_total: structured events emitted during the run.
         event_digest: SHA-256 of the run's canonical event-log JSONL
             (two same-seed runs must match byte-for-byte).
+        trace_digest: SHA-256 of the trace plane assembled from the
+            event log (``repro.obs.tracing``) — same determinism
+            contract as ``event_digest``.
     """
 
     scenario: str
@@ -86,6 +91,7 @@ class RunReport:
     slo_informational: List[dict] = field(default_factory=list)
     events_total: int = 0
     event_digest: str = ""
+    trace_digest: str = ""
 
     @property
     def ok(self) -> bool:
@@ -123,6 +129,7 @@ class RunReport:
             "slo_ok": self.slo_ok,
             "events_total": self.events_total,
             "event_digest": self.event_digest,
+            "trace_digest": self.trace_digest,
             "ok": self.ok,
         }
 
@@ -153,6 +160,8 @@ class RunReport:
                 f"  events: {self.events_total} "
                 f"(digest {self.event_digest[:16]})"
             )
+        if self.trace_digest:
+            lines.append(f"  traces: digest {self.trace_digest[:16]}")
         for verdict in self.slo + self.slo_informational:
             value = verdict.get("value")
             shown = "n/a" if value is None else f"{value:.3f}"

@@ -39,8 +39,9 @@ from ..obs import events as obs_events
 from ..obs import names as obs_names
 from ..obs.events import EventLog
 from ..obs.registry import get_registry
-from ..obs.slo import SloContext, SloEngine, SloVerdict
+from ..obs.slo import SloContext, SloEngine, SloVerdict, stage_budget_slos
 from ..obs.spans import span
+from ..obs.tracing import assemble_trees
 from ..obs.timeseries import active_store
 from ..placement.migration import HotShardDetector
 from . import faults as F
@@ -161,6 +162,9 @@ class ChaosRunner:
         #: The full SLO verdict objects from the last run (the report only
         #: keeps their dict encodings, split deterministic/informational).
         self.slo_verdicts: List[SloVerdict] = []
+        #: The trace plane assembled from the last run's event log
+        #: (populated by :meth:`run`; kept for waterfalls and profiles).
+        self.traces = assemble_trees(())
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -216,6 +220,7 @@ class ChaosRunner:
         self._max_iteration_ratio = 0.0
         self.events = EventLog()
         self.slo_verdicts = []
+        self.traces = assemble_trees(())
 
         self.cluster.solve_interceptor = self._intercept
         try:
@@ -300,9 +305,13 @@ class ChaosRunner:
         if reg.enabled:
             verdict = "pass" if self.report.ok else "fail"
             reg.counter(obs_names.CHAOS_RUNS, verdict=verdict).inc()
+        # Assemble the trace plane before SLO evaluation so stage-budget
+        # objectives can draw on the critical-path attribution.
+        self.traces = assemble_trees(self.events.events)
         self._evaluate_slos()
         self.report.events_total = self.events.emitted
         self.report.event_digest = self.events.digest()
+        self.report.trace_digest = self.traces.digest()
 
     def _evaluate_slos(self) -> None:
         """Attach SLO verdicts: deterministic ones enter the digested
@@ -313,8 +322,12 @@ class ChaosRunner:
             tick_interval_s=self.config.tick_interval_s,
             stats={"kmr_iteration_ratio_max": self._max_iteration_ratio},
             registry=get_registry(),
+            stage_latencies=self.traces.stage_latencies(),
         )
         self.slo_verdicts = list(self.slo_engine.evaluate(ctx))
+        self.slo_verdicts.extend(
+            SloEngine(stage_budget_slos()).evaluate(ctx)
+        )
         for verdict in self.slo_verdicts:
             row = verdict.to_dict()
             if verdict.deterministic:

@@ -864,6 +864,116 @@ def _cmd_obs_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_events(args: argparse.Namespace):
+    """Events for the trace commands: a JSONL file (``--events``) or a
+    fresh scenario run.  Returns ``(events, title)``."""
+    if getattr(args, "events", None):
+        log = obs.EventLog.read_jsonl(args.events)
+        return log.events, str(args.events)
+    runner, _, _ = _run_obs_scenario(args)
+    return runner.events.events, f"{args.scenario} seed={args.seed}"
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from .obs.tracing import assemble_trees
+
+    try:
+        runner, report, _ = _run_obs_scenario(args)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"repro trace: {exc}", file=sys.stderr)
+        return 2
+    path = runner.events.write_jsonl(args.out)
+    traces = assemble_trees(runner.events.events)
+    counters = traces.counters()
+    print(f"[trace] scenario={args.scenario} seed={args.seed}")
+    print(f"[trace] wrote {len(runner.events)} event(s) to {path}")
+    print(
+        f"[trace] trees: {counters['assembled']} assembled "
+        f"({counters['evicted']} evicted, "
+        f"{counters['orphan_events']} ambient)"
+    )
+    print(f"[trace] trace digest: {traces.digest()}")
+    print(f"[trace] report trace digest: {report.trace_digest}")
+    return 0 if report.ok else 1
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    from .obs.tracing import assemble_trees, format_waterfall
+
+    try:
+        events, title = _trace_events(args)
+    except (OSError, ValueError) as exc:
+        print(f"repro trace: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    traces = assemble_trees(events)
+    trees = traces.trees(args.meeting) if args.meeting else traces.trees()
+    print(f"trace waterfall — {title}")
+    print(format_waterfall(trees, limit=args.limit))
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from .obs.tracing import assemble_trees, write_chrome_trace
+
+    try:
+        events, title = _trace_events(args)
+    except (OSError, ValueError) as exc:
+        print(f"repro trace: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    traces = assemble_trees(events)
+    path = write_chrome_trace(traces.trees(), args.out)
+    print(
+        f"[trace] wrote Chrome trace for {title} to {path} "
+        "(open at https://ui.perfetto.dev)"
+    )
+    return 0
+
+
+def _cmd_trace_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.tracing import assemble_trees, build_profile
+
+    try:
+        events, title = _trace_events(args)
+    except (OSError, ValueError) as exc:
+        print(f"repro trace: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    traces = assemble_trees(events)
+    profile = build_profile(traces.trees(), source=title)
+    if args.json:
+        print(json.dumps(profile.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"latency profile — {title}")
+        print(f"{'stage':<16} {'count':>7} {'mean':>10} {'p50':>10} "
+              f"{'p95':>10} {'max':>10}")
+        for stage in profile.stages():
+            print(
+                f"{stage:<16} {profile.count(stage):>7} "
+                f"{profile.mean(stage) * 1e3:>8.2f}ms "
+                f"{profile.quantile(stage, 0.5) * 1e3:>8.2f}ms "
+                f"{profile.quantile(stage, 0.95) * 1e3:>8.2f}ms "
+                f"{profile.quantile(stage, 1.0) * 1e3:>8.2f}ms"
+            )
+        print(f"profile digest: {profile.digest()}")
+    if args.out:
+        path = profile.write_json(args.out)
+        print(f"[trace] wrote profile to {path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_obs_names(args: argparse.Namespace) -> int:
     print("metric                                              kind       labels")
     print("-" * 78)
@@ -1187,6 +1297,85 @@ def build_parser() -> argparse.ArgumentParser:
         "names", help="list every canonical metric and span name"
     )
     obs_names_cmd.set_defaults(func=_cmd_obs_names)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="causal trace plane: record, inspect and export "
+        "per-decision trace trees (docs/TRACING.md)",
+    )
+    trace_sub = trace_parser.add_subparsers(
+        dest="trace_command", required=True
+    )
+
+    trace_record = trace_sub.add_parser(
+        "record",
+        help="run a chaos scenario and write its event log for tracing",
+    )
+    trace_record.add_argument("--scenario", default="bandwidth_collapse")
+    trace_record.add_argument("--seed", type=int, default=1)
+    trace_record.add_argument(
+        "--out", default="events.jsonl",
+        help="event-log JSONL destination (default: events.jsonl)",
+    )
+    _add_chaos_config_args(trace_record)
+    trace_record.set_defaults(func=_cmd_trace_record)
+
+    trace_show = trace_sub.add_parser(
+        "show",
+        help="render per-decision trace trees as a text waterfall",
+    )
+    trace_show.add_argument(
+        "--events",
+        help="load an event-log JSONL file instead of running a scenario",
+    )
+    trace_show.add_argument("--scenario", default="bandwidth_collapse")
+    trace_show.add_argument("--seed", type=int, default=1)
+    trace_show.add_argument(
+        "--meeting", help="show only one meeting's decisions"
+    )
+    trace_show.add_argument(
+        "--limit", type=int, default=10,
+        help="max trees to render (default 10; 0 = all)",
+    )
+    _add_chaos_config_args(trace_show)
+    trace_show.set_defaults(func=_cmd_trace_show)
+
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="export trace trees as Chrome trace-event JSON (Perfetto)",
+    )
+    trace_export.add_argument(
+        "--events",
+        help="load an event-log JSONL file instead of running a scenario",
+    )
+    trace_export.add_argument("--scenario", default="bandwidth_collapse")
+    trace_export.add_argument("--seed", type=int, default=1)
+    trace_export.add_argument(
+        "--out", default="trace_chrome.json",
+        help="Chrome trace destination (default: trace_chrome.json)",
+    )
+    _add_chaos_config_args(trace_export)
+    trace_export.set_defaults(func=_cmd_trace_export)
+
+    trace_profile = trace_sub.add_parser(
+        "profile",
+        help="build a repro.latency_profile/v1 artifact from trace trees",
+    )
+    trace_profile.add_argument(
+        "--events",
+        help="load an event-log JSONL file instead of running a scenario",
+    )
+    trace_profile.add_argument("--scenario", default="bandwidth_collapse")
+    trace_profile.add_argument("--seed", type=int, default=1)
+    trace_profile.add_argument(
+        "--out", help="write the profile JSON artifact here"
+    )
+    trace_profile.add_argument(
+        "--json", action="store_true",
+        help="print the full profile payload as JSON",
+    )
+    _add_chaos_config_args(trace_profile)
+    trace_profile.set_defaults(func=_cmd_trace_profile)
     return parser
 
 

@@ -721,9 +721,17 @@ class ControllerCluster:
         if reg.enabled:
             reg.counter(obs_names.PLACEMENT_MIGRATIONS, reason=reason).inc()
         log = obs_events.active_event_log()
+        # Capture the predecessor cid before minting the degradation's
+        # own chain, so trace trees keep the re-homed meeting's lineage.
+        parent = (
+            log.last_cid(meeting_id)
+            if degrade and log is not None
+            else ""
+        )
         cid = log.mint(meeting_id) if degrade and log is not None else ""
         if log is not None:
             if degrade:
+                attrs = {"parent_cid": parent} if parent else {}
                 log.emit(
                     obs_events.MEETING_REHOMED,
                     t=now_s,
@@ -732,6 +740,7 @@ class ControllerCluster:
                     shard=target,
                     reason=reason,
                     previous_shard=source,
+                    **attrs,
                 )
             else:
                 log.emit(

@@ -192,8 +192,14 @@ class SolveScheduler:
                         obs_names.CLUSTER_SOLVE_REQUESTS, trigger=TRIGGER_TIME
                     ).inc()
                 log = obs_events.active_event_log()
+                # Predecessor cid first: the refresh chain links back to
+                # the decision whose staleness triggered it.
+                parent = (
+                    log.last_cid(meeting_id) if log is not None else ""
+                )
                 cid = log.mint(meeting_id) if log is not None else ""
                 if log is not None:
+                    attrs = {"parent_cid": parent} if parent else {}
                     log.emit(
                         obs_events.TIME_TRIGGER,
                         t=now_s,
@@ -201,6 +207,7 @@ class SolveScheduler:
                         cid=cid,
                         shard=self.shard,
                         idle_s=round(now_s - last, 6),
+                        **attrs,
                     )
                 ready.append(
                     SolveRequest(

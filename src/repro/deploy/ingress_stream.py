@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..cluster.scheduler import SolveScheduler
+from ..obs.tracing import STAGE_SOLVE, LatencyProfile
 from ..ingress.aio import SimRuntime
 from ..ingress.events import SembReport, StreamEvent
 from ..ingress.plane import (
@@ -57,6 +58,11 @@ class FleetStreamConfig:
     max_in_flight: int = 512
     sec_per_cost: float = SEC_PER_COST
     service_floor_s: float = 1e-4
+    #: "analytic" (SEC_PER_COST closed form, the default) or "measured"
+    #: (sample solve service times from a recorded latency profile).
+    service_mode: str = "analytic"
+    #: Seed for the measured mode's per-decision profile draws.
+    profile_seed: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -69,23 +75,45 @@ class FleetStreamConfig:
             "max_in_flight": self.max_in_flight,
             "sec_per_cost": self.sec_per_cost,
             "service_floor_s": self.service_floor_s,
+            "service_mode": self.service_mode,
+            "profile_seed": self.profile_seed,
         }
 
 
 class ModeledBackend(IngressBackend):
-    """Analytic decision engine over a sampled fleet workload.
+    """Modeled decision engine over a sampled fleet workload.
 
-    Payloads are solve costs; service times follow the placement
-    frontier's ``SEC_PER_COST`` model; decisions are content-free but
+    Payloads are solve costs; decisions are content-free but
     deterministically tagged (per-meeting counters), so double runs
-    produce identical decision streams.
+    produce identical decision streams.  Service times come from one of
+    two models:
+
+    * **analytic** (default) — the placement frontier's ``SEC_PER_COST``
+      closed form (an M/M/1-style cost-proportional service time);
+    * **measured** — seeded draws from a recorded
+      ``repro.latency_profile/v1`` solve-stage distribution
+      (``repro.obs.tracing.LatencyProfile``), closing the loop between
+      the real solve pool's observed latency and the modeled fleet.
+      Draws are keyed by ``(meeting, nth service)`` so they are
+      independent of scheduling order — the byte-determinism contract
+      survives executor interleaving.
     """
 
     def __init__(
-        self, workload: FleetWorkload, config: FleetStreamConfig
+        self,
+        workload: FleetWorkload,
+        config: FleetStreamConfig,
+        profile: Optional["LatencyProfile"] = None,
     ) -> None:
+        if config.service_mode not in ("analytic", "measured"):
+            raise ValueError(
+                f"unknown service_mode {config.service_mode!r}"
+            )
+        if config.service_mode == "measured" and profile is None:
+            raise ValueError("measured service_mode requires a profile")
         self.workload = workload
         self.config = config
+        self.profile = profile
         self.min_interval_s = config.min_interval_s
         self.max_interval_s = config.max_interval_s
         self._pacer = SolveScheduler(
@@ -93,6 +121,7 @@ class ModeledBackend(IngressBackend):
             max_interval_s=config.max_interval_s,
         )
         self._decisions: Dict[str, int] = {}
+        self._draws: Dict[str, int] = {}
         self.sheds = 0
 
     def apply_event(self, event: StreamEvent) -> None:
@@ -102,6 +131,16 @@ class ModeledBackend(IngressBackend):
         return float(self.workload.costs[int(meeting.split("-", 1)[1])])
 
     def service_s(self, meeting: str, payload: object) -> float:
+        if self.config.service_mode == "measured":
+            n = self._draws.get(meeting, 0) + 1
+            self._draws[meeting] = n
+            assert self.profile is not None
+            drawn = self.profile.sample(
+                STAGE_SOLVE,
+                key=f"{meeting}#{n}",
+                seed=self.config.profile_seed,
+            )
+            return max(self.config.service_floor_s, drawn)
         return max(
             self.config.service_floor_s,
             float(payload) * self.config.sec_per_cost,
@@ -167,6 +206,7 @@ def run_fleet_ingress(
     users: int = 100_000,
     config: Optional[FleetStreamConfig] = None,
     workload: Optional[FleetWorkload] = None,
+    profile: Optional[LatencyProfile] = None,
 ) -> dict:
     """Drive a fleet-scale SEMB stream through one ingress plane.
 
@@ -174,12 +214,15 @@ def run_fleet_ingress(
     only; byte-identical across same-seed runs — compare
     :func:`canonical_digest` for the determinism gate) and ``wall``
     (host timing: dispatch throughput in events per wall second).
+
+    ``profile`` supplies the measured solve-latency distribution when
+    ``config.service_mode == "measured"``.
     """
     cfg = config or FleetStreamConfig()
     fleet = workload if workload is not None else sample_fleet(seed, users)
     stream = generate_fleet_stream(seed, fleet, cfg)
     runtime = SimRuntime()
-    backend = ModeledBackend(fleet, cfg)
+    backend = ModeledBackend(fleet, cfg, profile=profile)
     plane = IngressPlane(
         runtime,
         backend,
@@ -202,6 +245,7 @@ def run_fleet_ingress(
         "users": fleet.users,
         "meetings": fleet.meetings,
         "config": cfg.to_dict(),
+        "profile_digest": profile.digest() if profile is not None else "",
         "events": len(stream),
         "offered": stats.offered,
         "decisions": stats.decisions,
@@ -235,3 +279,76 @@ def canonical_digest(result: dict) -> str:
         result["canonical"], sort_keys=True, separators=(",", ":")
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def measured_service_times(
+    workload: FleetWorkload,
+    profile: LatencyProfile,
+    seed: int = 0,
+) -> np.ndarray:
+    """Per-meeting solve service times drawn from a measured profile.
+
+    One seeded draw per meeting (keyed by meeting id), suitable as the
+    ``service_s`` override of
+    :func:`repro.deploy.vectorfleet.sustainable_rate`.
+    """
+    return np.array(
+        [
+            profile.sample(
+                STAGE_SOLVE, key=workload.meeting_id(i), seed=seed
+            )
+            for i in range(workload.meetings)
+        ],
+        dtype=np.float64,
+    )
+
+
+def sustainable_rate_report(
+    seed: int,
+    users: int = 100_000,
+    shards: int = 16,
+    slo_p95_s: float = 0.25,
+    profile: Optional[LatencyProfile] = None,
+) -> dict:
+    """Analytic vs measured sustainable-rate comparison for one fleet.
+
+    Computes the max sustainable fleet-wide solve rate under the p95
+    SLO twice: with the analytic ``SEC_PER_COST`` service model, and —
+    when ``profile`` is given — with per-meeting service times drawn
+    from the measured solve-stage distribution.  Byte-deterministic for
+    a given (seed, users, shards, profile).
+    """
+    from .vectorfleet import place_fleet, sustainable_rate
+
+    fleet = sample_fleet(seed, users)
+    placement = place_fleet(fleet, shards=shards)
+    report: dict = {
+        "schema": "repro.sustainable_rate/v1",
+        "seed": seed,
+        "users": fleet.users,
+        "meetings": fleet.meetings,
+        "shards": shards,
+        "slo_p95_s": slo_p95_s,
+        "analytic": {
+            "rate_per_s": round(
+                sustainable_rate(fleet, placement, slo_p95_s=slo_p95_s), 6
+            ),
+        },
+    }
+    if profile is not None:
+        service = measured_service_times(fleet, profile, seed=seed)
+        report["measured"] = {
+            "profile_digest": profile.digest(),
+            "service_p50_s": round(float(np.percentile(service, 50)), 6),
+            "service_p95_s": round(float(np.percentile(service, 95)), 6),
+            "rate_per_s": round(
+                sustainable_rate(
+                    fleet,
+                    placement,
+                    slo_p95_s=slo_p95_s,
+                    service_s=service,
+                ),
+                6,
+            ),
+        }
+    return report

@@ -298,6 +298,7 @@ def sustainable_rate(
     slo_p95_s: float = 0.25,
     sec_per_cost: float = SEC_PER_COST,
     iterations: int = 60,
+    service_s: Optional[np.ndarray] = None,
 ) -> float:
     """Max fleet-wide solve rate (meetings/sec) at the p95 solve SLO.
 
@@ -309,10 +310,33 @@ def sustainable_rate(
     over all meetings' solve latencies; bisection finds the largest
     ``lam`` that keeps it inside the SLO.  Pure arithmetic on the seeded
     workload — no wall clock — so the result is byte-deterministic.
+
+    ``service_s`` overrides the analytic per-meeting service times with
+    measured ones (e.g. drawn from a recorded
+    ``repro.latency_profile/v1`` — see
+    ``deploy.ingress_stream.measured_service_times``); shard demand
+    then follows the measured times too.
     """
     n = workload.meetings
-    service = workload.costs * sec_per_cost
-    per_shard_demand = placement.shard_cost * sec_per_cost / n
+    if service_s is not None:
+        service = np.asarray(service_s, dtype=np.float64)
+        if service.shape != (n,):
+            raise ValueError(
+                f"service_s must have shape ({n},), got {service.shape}"
+            )
+    else:
+        service = workload.costs * sec_per_cost
+    if service_s is not None:
+        per_shard_demand = (
+            np.bincount(
+                placement.assignment,
+                weights=service,
+                minlength=len(placement.shard_cost),
+            )
+            / n
+        )
+    else:
+        per_shard_demand = placement.shard_cost * sec_per_cost / n
     max_demand = float(per_shard_demand.max())
     if max_demand <= 0.0:
         return 0.0

@@ -475,10 +475,18 @@ class IngressPlane:
             cid = batch[0].cid
         else:
             trigger = "time"
+            # Capture the predecessor cid before minting so the refresh
+            # chain links to the decision it refreshes (trace lineage).
+            parent = log.last_cid(meeting) if log is not None else ""
             cid = log.mint(meeting) if log is not None else ""
             if log is not None:
+                attrs = {"parent_cid": parent} if parent else {}
                 log.emit(
-                    obs_events.TIME_TRIGGER, t=now, meeting=meeting, cid=cid
+                    obs_events.TIME_TRIGGER,
+                    t=now,
+                    meeting=meeting,
+                    cid=cid,
+                    **attrs,
                 )
         coalesced = max(0, len(batch) - 1)
         if coalesced:

@@ -14,7 +14,9 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Union
 
-REPORT_SCHEMA = "repro.ingress_report/v1"
+#: v2: the report embeds the assembled trace-plane digest and the
+#: per-stage critical-path latency attribution.
+REPORT_SCHEMA = "repro.ingress_report/v2"
 
 
 @dataclass
@@ -36,6 +38,10 @@ class IngressReport:
         meetings: per-meeting closing summary (decisions, mailbox stats).
         events_total: structured events emitted during the run.
         event_digest: SHA-256 of the run's canonical event-log JSONL.
+        trace_digest: SHA-256 of the trace plane assembled from the
+            event log (``repro.obs.tracing``).
+        stages: per-stage critical-path attribution — span count and
+            total attributed virtual seconds per stage name.
     """
 
     seed: int
@@ -52,6 +58,8 @@ class IngressReport:
     meetings: Dict[str, dict] = field(default_factory=dict)
     events_total: int = 0
     event_digest: str = ""
+    trace_digest: str = ""
+    stages: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -76,6 +84,8 @@ class IngressReport:
             "meetings": {k: self.meetings[k] for k in sorted(self.meetings)},
             "events_total": self.events_total,
             "event_digest": self.event_digest,
+            "trace_digest": self.trace_digest,
+            "stages": {k: self.stages[k] for k in sorted(self.stages)},
             "ok": self.ok,
         }
 
@@ -111,6 +121,14 @@ class IngressReport:
             lines.append(
                 f"  events: {self.events_total} "
                 f"digest={self.event_digest[:12]}…"
+            )
+        if self.trace_digest:
+            shares = " ".join(
+                f"{stage}={info.get('total_s', 0.0):.3f}s"
+                for stage, info in sorted(self.stages.items())
+            )
+            lines.append(
+                f"  traces: digest={self.trace_digest[:12]}… {shares}"
             )
         if self.violations:
             lines.append(f"  VIOLATIONS: {len(self.violations)}")

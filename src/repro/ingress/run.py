@@ -23,6 +23,7 @@ from ..obs import events as obs_events
 from ..obs import names as obs_names
 from ..obs.events import EventLog
 from ..obs.spans import span
+from ..obs.tracing import assemble_trees
 from ..chaos.invariants import InvariantChecker
 from ..chaos.world import ChaosWorld
 from .aio import SimRuntime
@@ -150,6 +151,17 @@ def run_ingress(
     for row in decisions:
         by_source[row["source"]] = by_source.get(row["source"], 0) + 1
 
+    # Assemble the trace plane from the run's event log: the digest joins
+    # the determinism contract, and the per-stage attribution explains
+    # where the virtual decision latency went.
+    traces = assemble_trees(log.events)
+    stage_totals: dict = {}
+    for stage, samples in traces.stage_latencies().items():
+        stage_totals[stage] = {
+            "count": len(samples),
+            "total_s": round(sum(d for (_, d) in samples), 6),
+        }
+
     stats = plane.stats
     report = IngressReport(
         seed=cfg.seed,
@@ -184,5 +196,7 @@ def run_ingress(
         meetings=meetings,
         events_total=log.emitted,
         event_digest=log.digest(),
+        trace_digest=traces.digest(),
+        stages=stage_totals,
     )
     return report

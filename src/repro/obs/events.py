@@ -181,6 +181,18 @@ class EventLog:
             self._cid_counters[meeting] = n
         return f"{meeting}#{n}"
 
+    def last_cid(self, meeting: str) -> str:
+        """The most recently minted cid for ``meeting`` ("" before any).
+
+        Lets chains that mint a *successor* cid (time-trigger refreshes,
+        re-home degradations) stamp a ``parent_cid`` attribute linking to
+        their predecessor, so trace trees keep lineage instead of
+        orphaning the new chain.
+        """
+        with self._lock:
+            n = self._cid_counters.get(meeting, 0)
+        return f"{meeting}#{n}" if n else ""
+
     def emit(
         self,
         kind: str,

@@ -287,6 +287,29 @@ SPAN_POOL_SOLVE = "pool.solve"
 SPAN_SLO_EVALUATE = "slo.evaluate"
 
 # --------------------------------------------------------------------- #
+# Causal trace plane (repro.obs.tracing)
+# --------------------------------------------------------------------- #
+
+#: Counter — decision trace trees assembled from the event log (a tree
+#: is counted when it is finalized: terminal event seen, or flushed).
+TRACE_TREES_ASSEMBLED = "repro_trace_trees_assembled_total"
+#: Counter — assembled trees evicted by the bounded per-meeting
+#: retention reservoir (never retained, or dropped on a stride double).
+TRACE_TREES_EVICTED = "repro_trace_trees_evicted_total"
+#: Counter — retained trees drained by :meth:`TraceAssembler.export`.
+TRACE_TREES_EXPORTED = "repro_trace_trees_exported_total"
+#: Counter — events without a correlation id folded into ambient
+#: singleton trees (faults, shard lifecycle).
+TRACE_ORPHAN_EVENTS = "repro_trace_orphan_events_total"
+#: Histogram, label ``stage`` — per-stage virtual seconds attributed by
+#: critical-path extraction (``mailbox_dwell``, ``sched_wait``,
+#: ``solve``, ``delivery``, ``shed``).
+TRACE_STAGE_SECONDS = "repro_trace_stage_seconds"
+
+#: Trace-plane span names.
+SPAN_TRACE_ASSEMBLE = "trace.assemble"
+
+# --------------------------------------------------------------------- #
 # Benchmarks (benchmarks/_harness.py)
 # --------------------------------------------------------------------- #
 
@@ -366,6 +389,11 @@ ALL_METRICS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     TIMESERIES_SERIES: ("gauge", ()),
     SLO_EVALUATIONS: ("counter", ("slo",)),
     SLO_BREACHES: ("counter", ("slo",)),
+    TRACE_TREES_ASSEMBLED: ("counter", ()),
+    TRACE_TREES_EVICTED: ("counter", ()),
+    TRACE_TREES_EXPORTED: ("counter", ()),
+    TRACE_ORPHAN_EVENTS: ("counter", ()),
+    TRACE_STAGE_SECONDS: ("histogram", ("stage",)),
     BENCHMARK_SECONDS: ("histogram", ("benchmark",)),
 }
 
@@ -386,4 +414,5 @@ ALL_SPANS: Tuple[str, ...] = (
     SPAN_INGRESS_DECIDE,
     SPAN_POOL_SOLVE,
     SPAN_SLO_EVALUATE,
+    SPAN_TRACE_ASSEMBLE,
 )

@@ -141,6 +141,9 @@ class SloContext:
         stats: pre-computed scalar measures (``stat:<key>`` lookups),
             e.g. ``kmr_iteration_ratio_max``.
         registry: live registry for wall-clock latency measures.
+        stage_latencies: per-stage ``(start_s, duration_s)`` samples from
+            the trace plane (``TraceAssembler.stage_latencies``), for
+            ``stage_p95:<stage>`` budget objectives.
     """
 
     serves: Sequence[Mapping[str, object]] = ()
@@ -148,6 +151,9 @@ class SloContext:
     tick_interval_s: float = 1.0
     stats: Mapping[str, float] = field(default_factory=dict)
     registry: Optional[MetricsRegistry] = None
+    stage_latencies: Mapping[str, Sequence[Tuple[float, float]]] = field(
+        default_factory=dict
+    )
 
 
 #: The default catalog, pinned to the paper.
@@ -197,6 +203,49 @@ DEFAULT_SLOS: Tuple[Slo, ...] = (
         paper_ref="Sec. 7",
     ),
 )
+
+
+#: Per-stage p95 latency budgets (virtual seconds) for the trace plane's
+#: critical-path stages.  Budgets bound each stage's share of the Fig. 12
+#: control envelope: mailbox dwell and scheduler wait may consume the
+#: debounce window (the paper's 1-3 s coalescing ceiling plus slack for
+#: backpressure bursts), while solve and delivery must stay small.  A
+#: BURN on one of these names the offending stage directly.
+STAGE_BUDGETS_S: Dict[str, float] = {
+    "mailbox_dwell": 3.0,
+    "sched_wait": 4.0,
+    "solve": 1.0,
+    "delivery": 1.0,
+    "shed": 1.0,
+}
+
+
+def stage_budget_slos(**overrides: float) -> List[Slo]:
+    """Per-stage latency-budget objectives over trace-plane attribution.
+
+    One ``stage_<stage>_p95`` objective per critical-path stage, measured
+    from :attr:`SloContext.stage_latencies` (virtual clock — verdicts are
+    deterministic and digest-safe).  Per-stage threshold overrides:
+    ``stage_budget_slos(solve=0.5)``.
+    """
+    unknown = set(overrides) - set(STAGE_BUDGETS_S)
+    if unknown:
+        raise ValueError(f"unknown stage name(s): {sorted(unknown)}")
+    out: List[Slo] = []
+    for stage in sorted(STAGE_BUDGETS_S):
+        threshold = float(overrides.get(stage, STAGE_BUDGETS_S[stage]))
+        out.append(Slo(
+            name=f"stage_{stage}_p95",
+            description=f"p95 {stage} stage latency stays within its "
+                        "share of the control-latency envelope",
+            measure=f"stage_p95:{stage}",
+            threshold=threshold,
+            comparator="<=",
+            unit="s",
+            deterministic=True,
+            paper_ref="Fig. 12",
+        ))
+    return out
 
 
 def default_slos(**overrides: float) -> List[Slo]:
@@ -291,7 +340,25 @@ class SloEngine:
             "histogram_max:"
         ):
             return _histogram_measure(measure, ctx.registry, t0)
+        if measure.startswith("stage_p95:"):
+            stage = measure.split(":", 1)[1]
+            samples = ctx.stage_latencies.get(stage, ())
+            values = sorted(d for (t, d) in samples if t >= t0)
+            return _quantile(values, 0.95)
         raise ValueError(f"unknown SLO measure {measure!r}")
+
+
+def _quantile(ordered: List[float], q: float) -> Optional[float]:
+    """Linear-interpolated quantile of pre-sorted values (None if empty)."""
+    if not ordered:
+        return None
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
 def _degraded_fraction(

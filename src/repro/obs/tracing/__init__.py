@@ -1,0 +1,64 @@
+"""Causal trace plane: per-decision trace trees assembled from the
+cid-threaded event log, critical-path latency attribution, measured
+latency profiles, and Perfetto/waterfall exports.
+
+See ``docs/TRACING.md`` for the trace model and stage vocabulary.
+"""
+
+from .assembler import (
+    DEFAULT_MAX_OPEN,
+    DEFAULT_RETENTION,
+    TraceAssembler,
+    assemble_trees,
+)
+from .export import (
+    chrome_trace,
+    format_waterfall,
+    waterfall,
+    write_chrome_trace,
+)
+from .profile import (
+    DEFAULT_SAMPLES,
+    PROFILE_SCHEMA,
+    LatencyProfile,
+    build_profile,
+)
+from .tree import (
+    ALL_STAGES,
+    LINK_COALESCED,
+    LINK_LINEAGE,
+    STAGE_DELIVERY,
+    STAGE_MAILBOX_DWELL,
+    STAGE_SCHED_WAIT,
+    STAGE_SHED,
+    STAGE_SOLVE,
+    TRACE_SCHEMA,
+    StageSpan,
+    TraceTree,
+)
+
+__all__ = [
+    "ALL_STAGES",
+    "DEFAULT_MAX_OPEN",
+    "DEFAULT_RETENTION",
+    "DEFAULT_SAMPLES",
+    "LINK_COALESCED",
+    "LINK_LINEAGE",
+    "LatencyProfile",
+    "PROFILE_SCHEMA",
+    "STAGE_DELIVERY",
+    "STAGE_MAILBOX_DWELL",
+    "STAGE_SCHED_WAIT",
+    "STAGE_SHED",
+    "STAGE_SOLVE",
+    "StageSpan",
+    "TRACE_SCHEMA",
+    "TraceAssembler",
+    "TraceTree",
+    "assemble_trees",
+    "build_profile",
+    "chrome_trace",
+    "format_waterfall",
+    "waterfall",
+    "write_chrome_trace",
+]

@@ -20,6 +20,11 @@ class TestReportSloFields:
             "kmr_iteration_bound",
             "degraded_serve_rate",
             "stream_interruption_s",
+            "stage_delivery_p95",
+            "stage_mailbox_dwell_p95",
+            "stage_sched_wait_p95",
+            "stage_shed_p95",
+            "stage_solve_p95",
         ]
         assert all(v["deterministic"] for v in report.slo)
         assert report.slo_ok

@@ -68,3 +68,113 @@ class TestRunFleetIngress:
         # The benchmark's unconditional gate, enforced at test scale too.
         assert canonical["latency"]["p95_s"] <= 0.25
         assert result["wall"]["events_per_sec"] > 0
+
+
+def solve_profile(values):
+    """A small measured solve-stage profile for the modeled fleet."""
+    from repro.obs.tracing import STAGE_SOLVE, LatencyProfile
+
+    profile = LatencyProfile(source="test")
+    for v in values:
+        profile.observe(STAGE_SOLVE, v)
+    return profile
+
+
+class TestMeasuredServiceMode:
+    def test_analytic_is_the_default(self):
+        assert FleetStreamConfig().service_mode == "analytic"
+
+    def test_unknown_mode_rejected(self):
+        import pytest
+
+        fleet = sample_fleet(SEED, USERS)
+        with pytest.raises(ValueError, match="service_mode"):
+            ModeledBackend(fleet, FleetStreamConfig(service_mode="exact"))
+
+    def test_measured_mode_requires_a_profile(self):
+        import pytest
+
+        fleet = sample_fleet(SEED, USERS)
+        with pytest.raises(ValueError, match="profile"):
+            ModeledBackend(fleet, FleetStreamConfig(service_mode="measured"))
+
+    def test_measured_service_draws_from_the_profile(self):
+        fleet = sample_fleet(SEED, USERS)
+        profile = solve_profile([0.002, 0.004, 0.008])
+        backend = ModeledBackend(
+            fleet,
+            FleetStreamConfig(service_mode="measured"),
+            profile=profile,
+        )
+        meeting = fleet.meeting_id(0)
+        drawn = [backend.service_s(meeting, 1.0) for _ in range(16)]
+        assert all(0.002 <= v <= 0.008 for v in drawn)
+        assert len(set(drawn)) > 1  # nth-draw keys vary the samples
+
+    def test_measured_run_is_byte_deterministic(self):
+        profile = solve_profile([0.001, 0.003, 0.009, 0.027])
+        cfg = FleetStreamConfig(service_mode="measured", profile_seed=4)
+        first = run_fleet_ingress(SEED, users=USERS, config=cfg,
+                                  profile=profile)
+        second = run_fleet_ingress(SEED, users=USERS, config=cfg,
+                                   profile=profile)
+        assert canonical_digest(first) == canonical_digest(second)
+        assert first["canonical"]["profile_digest"] == profile.digest()
+
+    def test_measured_and_analytic_runs_differ(self):
+        profile = solve_profile([0.05, 0.10, 0.20])
+        measured = run_fleet_ingress(
+            SEED,
+            users=USERS,
+            config=FleetStreamConfig(service_mode="measured"),
+            profile=profile,
+        )
+        analytic = run_fleet_ingress(SEED, users=USERS)
+        assert canonical_digest(measured) != canonical_digest(analytic)
+        assert (
+            measured["canonical"]["latency"]["p95_s"]
+            > analytic["canonical"]["latency"]["p95_s"]
+        )
+
+
+class TestSustainableRateReport:
+    def test_analytic_only_without_profile(self):
+        from repro.deploy.ingress_stream import sustainable_rate_report
+
+        report = sustainable_rate_report(SEED, users=USERS, shards=4)
+        assert report["schema"] == "repro.sustainable_rate/v1"
+        assert report["analytic"]["rate_per_s"] > 0
+        assert "measured" not in report
+
+    def test_measured_block_compares_against_analytic(self):
+        from repro.deploy.ingress_stream import sustainable_rate_report
+
+        profile = solve_profile([0.05, 0.10, 0.20])
+        report = sustainable_rate_report(
+            SEED, users=USERS, shards=4, profile=profile
+        )
+        measured = report["measured"]
+        assert measured["profile_digest"] == profile.digest()
+        assert 0.05 <= measured["service_p50_s"] <= 0.20
+        assert measured["rate_per_s"] > 0
+        # Slow measured service times must cost sustainable throughput.
+        assert measured["rate_per_s"] < report["analytic"]["rate_per_s"]
+
+    def test_report_is_deterministic(self):
+        from repro.deploy.ingress_stream import sustainable_rate_report
+
+        profile = solve_profile([0.01, 0.02])
+        a = sustainable_rate_report(SEED, users=USERS, profile=profile)
+        b = sustainable_rate_report(SEED, users=USERS, profile=profile)
+        assert a == b
+
+    def test_measured_service_times_keyed_by_meeting(self):
+        from repro.deploy.ingress_stream import measured_service_times
+
+        fleet = sample_fleet(SEED, USERS)
+        profile = solve_profile([0.01, 0.02, 0.04])
+        a = measured_service_times(fleet, profile, seed=1)
+        b = measured_service_times(fleet, profile, seed=1)
+        assert (a == b).all()
+        assert a.shape == (fleet.meetings,)
+        assert (a >= 0.01).all() and (a <= 0.04).all()

@@ -1,0 +1,32 @@
+"""Shared helpers for the trace-plane suite: hand-built event chains."""
+
+from repro.obs.events import Event
+
+_SEQ = {"n": 0}
+
+
+def ev(t, kind, meeting="m0", cid="", seq=None, shard="", **attrs):
+    """One event with an auto-assigned sequence number.
+
+    Tests that care about ordering pass ``seq`` explicitly; everything
+    else gets a fresh monotonic number so ``(t, seq)`` sorts are stable.
+    """
+    if seq is None:
+        _SEQ["n"] += 1
+        seq = _SEQ["n"]
+    return Event(
+        t=t, seq=seq, kind=kind, meeting=meeting, cid=cid,
+        shard=shard, attrs=attrs,
+    )
+
+
+def decision_chain(cid="m0#1", meeting="m0", t0=0.0):
+    """A full ingress decision chain: enqueue -> dequeue -> solve -> push."""
+    from repro.obs import events as ek
+
+    return [
+        ev(t0 + 0.0, ek.INGRESS_ENQUEUED, meeting, cid),
+        ev(t0 + 0.2, ek.INGRESS_DEQUEUED, meeting, cid, batch=1),
+        ev(t0 + 0.3, ek.SOLVE_SERVED, meeting, cid),
+        ev(t0 + 0.35, ek.TMMBR_PUSH, meeting, cid),
+    ]

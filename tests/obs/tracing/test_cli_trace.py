@@ -1,0 +1,107 @@
+"""Tests for the ``repro trace`` CLI subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = ["--meetings", "2", "--duration", "6", "--seed", "3"]
+
+
+class TestParser:
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_record_defaults(self):
+        args = build_parser().parse_args(["trace", "record"])
+        assert args.scenario == "bandwidth_collapse"
+        assert args.seed == 1
+        assert args.out == "events.jsonl"
+
+    def test_show_defaults(self):
+        args = build_parser().parse_args(["trace", "show"])
+        assert args.limit == 10
+        assert args.meeting is None
+        assert args.events is None
+
+
+class TestRecord:
+    def test_writes_events_and_prints_digests(self, tmp_path, capsys):
+        out = tmp_path / "events.jsonl"
+        rc = main(["trace", "record", "--out", str(out)] + SMALL)
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "trace digest:" in captured
+        assert "report trace digest:" in captured
+        rows = [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+        assert rows[0]["record"] == "meta"
+        assert any(r.get("record") == "event" for r in rows)
+
+    def test_unknown_scenario_fails_cleanly(self, tmp_path, capsys):
+        rc = main(
+            ["trace", "record", "--scenario", "nope",
+             "--out", str(tmp_path / "e.jsonl")]
+        )
+        assert rc == 2
+
+    def test_assembled_digest_matches_report(self, tmp_path, capsys):
+        main(["trace", "record", "--out", str(tmp_path / "e.jsonl")] + SMALL)
+        out = capsys.readouterr().out
+        digests = {
+            line.split()[-1]
+            for line in out.splitlines()
+            if "digest:" in line
+        }
+        assert len(digests) == 1, "CLI and report digests must agree"
+
+
+class TestShow:
+    def test_waterfall_from_recorded_events(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        main(["trace", "record", "--out", str(events)] + SMALL)
+        capsys.readouterr()
+        rc = main(["trace", "show", "--events", str(events), "--limit", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace waterfall" in out
+        assert "#" in out
+
+    def test_missing_events_file_fails_cleanly(self, tmp_path, capsys):
+        rc = main(
+            ["trace", "show", "--events", str(tmp_path / "missing.jsonl")]
+        )
+        assert rc == 2
+
+
+class TestExport:
+    def test_chrome_trace_artifact(self, tmp_path, capsys):
+        out = tmp_path / "chrome.json"
+        rc = main(["trace", "export", "--out", str(out)] + SMALL)
+        assert rc == 0
+        assert "perfetto" in capsys.readouterr().out.lower()
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+
+
+class TestProfile:
+    def test_prints_stage_table(self, capsys):
+        rc = main(["trace", "profile"] + SMALL)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "latency profile" in out
+        assert "solve" in out
+        assert "profile digest:" in out
+
+    def test_json_payload_and_artifact(self, tmp_path, capsys):
+        out = tmp_path / "profile.json"
+        rc = main(
+            ["trace", "profile", "--json", "--out", str(out)] + SMALL
+        )
+        assert rc == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["schema"] == "repro.latency_profile/v1"
+        assert json.loads(out.read_text()) == printed

@@ -1,0 +1,100 @@
+"""Trace exports: Chrome trace-event JSON and the text waterfall."""
+
+import json
+
+from repro.obs import events as ek
+from repro.obs.tracing import (
+    assemble_trees,
+    chrome_trace,
+    format_waterfall,
+    waterfall,
+    write_chrome_trace,
+)
+
+from .conftest import decision_chain, ev
+
+
+def sample_trees():
+    events = decision_chain()
+    events += decision_chain(cid="m0#2", t0=1.0)
+    events += [
+        ev(5.0, ek.TIME_TRIGGER, cid="m0#3", parent_cid="m0#2"),
+        ev(5.2, ek.TMMBR_PUSH, cid="m0#3"),
+    ]
+    events += decision_chain(cid="m1#1", meeting="m1", t0=2.0)
+    return assemble_trees(events).trees()
+
+
+class TestChromeTrace:
+    def test_one_process_per_meeting(self):
+        payload = chrome_trace(sample_trees())
+        metas = [
+            e for e in payload["traceEvents"] if e["ph"] == "M"
+        ]
+        assert [m["args"]["name"] for m in metas] == [
+            "meeting m0", "meeting m1",
+        ]
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_stage_slices_are_complete_events_in_microseconds(self):
+        payload = chrome_trace(sample_trees())
+        stages = [
+            e
+            for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "stage"
+        ]
+        assert stages, "stage slices must be emitted"
+        dwell = next(s for s in stages if s["name"] == "mailbox_dwell")
+        assert dwell["ts"] == 0.0
+        assert dwell["dur"] == 0.2 * 1e6
+
+    def test_children_render_in_the_parent_lane(self):
+        payload = chrome_trace(sample_trees())
+        decisions = {
+            e["args"]["cid"]: e
+            for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "decision"
+        }
+        # m0#3 is a lineage child of m0#2: same pid/tid lane.
+        assert decisions["m0#3"]["pid"] == decisions["m0#2"]["pid"]
+        assert decisions["m0#3"]["tid"] == decisions["m0#2"]["tid"]
+        assert decisions["m0#3"]["args"]["link"] == "lineage"
+
+    def test_export_bytes_are_deterministic(self, tmp_path):
+        a = write_chrome_trace(sample_trees(), tmp_path / "a.json")
+        b = write_chrome_trace(sample_trees(), tmp_path / "b.json")
+        assert a.read_bytes() == b.read_bytes()
+        parsed = json.loads(a.read_text())
+        assert "traceEvents" in parsed
+
+
+class TestWaterfall:
+    def test_renders_stages_with_bars(self):
+        tree = sample_trees()[0]
+        lines = waterfall(tree)
+        assert tree.cid in lines[0]
+        assert any("mailbox_dwell" in line and "#" in line for line in lines)
+
+    def test_children_are_indented(self):
+        trees = sample_trees()
+        parent = next(t for t in trees if t.children)
+        lines = waterfall(parent)
+        child_line = next(
+            line for line in lines if parent.children[0].cid in line
+        )
+        assert child_line.startswith("  ")
+        assert "[lineage]" in child_line
+
+    def test_format_waterfall_limits_and_reports_overflow(self):
+        trees = sample_trees()
+        text = format_waterfall(trees, limit=1)
+        assert "more trees not shown" in text
+        assert format_waterfall(trees).count("(complete)") >= 3
+
+    def test_zero_latency_tree_renders_without_division(self):
+        events = [
+            ev(1.0, ek.INGRESS_ENQUEUED, cid="m0#1"),
+            ev(1.0, ek.TMMBR_PUSH, cid="m0#1"),
+        ]
+        tree = assemble_trees(events).trees()[0]
+        assert any("|" in line for line in waterfall(tree))

@@ -1,0 +1,132 @@
+"""Regression: successor chains stamp ``parent_cid`` (satellite 1).
+
+Time-trigger refreshes and degraded re-homes mint a *new* correlation id;
+before this PR they stood alone in the trace plane.  These tests pin the
+instrumented call sites — ``SolveScheduler.due`` (cluster),
+``IngressPlane`` time triggers, and ``ControllerCluster.migrate_meeting``
+— to the lineage contract: the new chain's root event carries the
+predecessor's cid, and the assembled tree hangs under it.
+"""
+
+from repro.cluster import ClusterConfig, ControllerCluster
+from repro.ingress.faults import DROP_SEMB, StreamFault
+from repro.ingress.run import IngressRunConfig, run_ingress
+from repro.obs import events as ek
+from repro.obs.events import EventLog, record_events
+from repro.obs.tracing import LINK_LINEAGE, assemble_trees
+
+from tests.cluster.conftest import mesh_problem
+
+
+def make_cluster(**overrides):
+    defaults = dict(shards=3)
+    defaults.update(overrides)
+    return ControllerCluster(ClusterConfig(**defaults))
+
+
+class TestTimeTriggerLineage:
+    def test_scheduler_refresh_links_to_previous_decision(self):
+        log = EventLog()
+        with record_events(log):
+            with make_cluster() as cluster:
+                cluster.submit("m0", mesh_problem(), 0.0)
+                cluster.tick(0.0)
+                # Idle long past max_interval_s: the scheduler must
+                # synthesize a time-trigger refresh.
+                cluster.tick(60.0)
+        triggers = [
+            e for e in log.events if e.kind == ek.TIME_TRIGGER
+        ]
+        assert triggers, "idle meeting must refresh on the Fig. 12 ceiling"
+        for trigger in triggers:
+            assert trigger.attrs.get("parent_cid"), (
+                "time-trigger refresh must link to its predecessor chain"
+            )
+            assert trigger.attrs["parent_cid"] != trigger.cid
+
+    def test_refresh_tree_hangs_under_predecessor(self):
+        log = EventLog()
+        with record_events(log):
+            with make_cluster() as cluster:
+                cluster.submit("m0", mesh_problem(), 0.0)
+                cluster.tick(0.0)
+                cluster.tick(60.0)
+        traces = assemble_trees(log.events)
+        links = [
+            node.link
+            for tree in traces.trees()
+            for node in tree.walk()
+            if node.parent_cid
+        ]
+        assert LINK_LINEAGE in links
+
+
+class TestMigrationLineage:
+    def migrated_log(self):
+        log = EventLog()
+        with record_events(log):
+            with make_cluster() as cluster:
+                cluster.submit("m0", mesh_problem(), 0.0)
+                cluster.tick(0.0)
+                source = cluster.meeting("m0").shard
+                target = next(
+                    s for s in cluster.live_shards if s != source
+                )
+                cluster.migrate_meeting("m0", target, 1.0, reason="drain")
+        return log
+
+    def test_degraded_rehome_links_to_previous_decision(self):
+        log = self.migrated_log()
+        rehomes = [e for e in log.events if e.kind == ek.MEETING_REHOMED]
+        assert len(rehomes) == 1
+        assert rehomes[0].cid, "degraded re-home mints a cid"
+        assert rehomes[0].attrs.get("parent_cid"), (
+            "degraded re-home must link to the chain it degrades"
+        )
+
+    def test_rehome_tree_is_a_lineage_child(self):
+        traces = assemble_trees(self.migrated_log().events)
+        rehomed = [
+            node
+            for tree in traces.trees()
+            for node in tree.walk()
+            if any(e.kind == ek.MEETING_REHOMED for e in node.events)
+        ]
+        assert rehomed and rehomed[0].link == LINK_LINEAGE
+
+    def test_seamless_move_stays_unthreaded(self):
+        log = EventLog()
+        with record_events(log):
+            with make_cluster() as cluster:
+                cluster.submit("m0", mesh_problem(), 0.0)
+                cluster.tick(0.0)
+                source = cluster.meeting("m0").shard
+                target = next(
+                    s for s in cluster.live_shards if s != source
+                )
+                cluster.migrate_meeting(
+                    "m0", target, 1.0, reason="drain", degrade=False
+                )
+        rehomes = [e for e in log.events if e.kind == ek.MEETING_REHOMED]
+        assert rehomes[0].cid == ""
+        assert "parent_cid" not in rehomes[0].attrs
+
+
+class TestIngressPlaneLineage:
+    def test_plane_time_triggers_carry_parents(self):
+        log = EventLog(capacity=65536)
+        # Drop every SEMB report mid-run: the idle meetings must refresh
+        # from their last snapshot once max_interval_s passes.
+        run_ingress(
+            IngressRunConfig(seed=3, meetings=4, duration_s=20.0),
+            faults=[StreamFault(DROP_SEMB, start_s=4.0, end_s=16.0)],
+            events_out=log,
+        )
+        triggers = [e for e in log.events if e.kind == ek.TIME_TRIGGER]
+        # Refreshes for meetings that decided before must link back; a
+        # refresh before any decision legitimately has no parent.
+        linked = [e for e in triggers if e.attrs.get("parent_cid")]
+        assert triggers, "idle_refresh workload must synthesize refreshes"
+        assert linked, "refreshes after a first decision must link back"
+        for e in linked:
+            assert e.attrs["parent_cid"].startswith(e.meeting + "#")

@@ -1,0 +1,134 @@
+"""Latency profiles: stats, quantiles, seeded sampling, roundtrip."""
+
+import math
+
+import pytest
+
+from repro.obs.tracing import (
+    DEFAULT_SAMPLES,
+    PROFILE_SCHEMA,
+    STAGE_SOLVE,
+    LatencyProfile,
+    assemble_trees,
+    build_profile,
+)
+
+from .conftest import decision_chain
+
+
+def solve_profile(values, **kwargs):
+    profile = LatencyProfile(source="test", **kwargs)
+    for v in values:
+        profile.observe(STAGE_SOLVE, v)
+    return profile
+
+
+class TestStats:
+    def test_count_mean_track_every_observation(self):
+        profile = solve_profile([0.1, 0.2, 0.3])
+        assert profile.count(STAGE_SOLVE) == 3
+        assert math.isclose(profile.mean(STAGE_SOLVE), 0.2)
+        assert profile.stages() == [STAGE_SOLVE]
+
+    def test_unknown_stage_is_empty(self):
+        profile = solve_profile([0.1])
+        assert profile.count("delivery") == 0
+        assert profile.mean("delivery") == 0.0
+        assert profile.quantile("delivery", 0.5) == 0.0
+
+    def test_quantile_interpolates_order_statistics(self):
+        profile = solve_profile([0.0, 1.0])
+        assert math.isclose(profile.quantile(STAGE_SOLVE, 0.5), 0.5)
+        assert profile.quantile(STAGE_SOLVE, 0.0) == 0.0
+        assert profile.quantile(STAGE_SOLVE, 1.0) == 1.0
+
+    def test_reservoir_is_bounded_but_count_exact(self):
+        profile = solve_profile(
+            [i / 1000.0 for i in range(5000)], samples_per_stage=64
+        )
+        payload = profile.to_dict()["stages"][STAGE_SOLVE]
+        assert profile.count(STAGE_SOLVE) == 5000
+        assert len(payload["samples"]) <= 64
+        assert payload["min_s"] == 0.0
+        assert math.isclose(payload["max_s"], 4.999)
+
+
+class TestSampling:
+    def test_same_key_always_draws_the_same_value(self):
+        profile = solve_profile([0.1, 0.5, 0.9, 1.3])
+        a = profile.sample(STAGE_SOLVE, key="m0#1", seed=7)
+        b = profile.sample(STAGE_SOLVE, key="m0#1", seed=7)
+        assert a == b
+
+    def test_draws_are_call_order_independent(self):
+        profile = solve_profile([0.1, 0.5, 0.9, 1.3])
+        first = [
+            profile.sample(STAGE_SOLVE, key=k, seed=1)
+            for k in ("a", "b", "c")
+        ]
+        second = [
+            profile.sample(STAGE_SOLVE, key=k, seed=1)
+            for k in ("c", "b", "a")
+        ]
+        assert first == list(reversed(second))
+
+    def test_seed_and_key_vary_the_draw(self):
+        profile = solve_profile([i / 100.0 for i in range(100)])
+        draws = {
+            profile.sample(STAGE_SOLVE, key=f"m0#{n}", seed=0)
+            for n in range(50)
+        }
+        assert len(draws) > 10
+        assert profile.sample(STAGE_SOLVE, "k", 0) != profile.sample(
+            STAGE_SOLVE, "k", 1
+        )
+
+    def test_draws_stay_inside_the_observed_range(self):
+        profile = solve_profile([0.2, 0.4, 0.8])
+        for n in range(100):
+            drawn = profile.sample(STAGE_SOLVE, key=str(n))
+            assert 0.2 <= drawn <= 0.8
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_digest(self):
+        profile = solve_profile([0.1, 0.2, 0.3])
+        clone = LatencyProfile.from_dict(profile.to_dict())
+        assert clone.digest() == profile.digest()
+        assert clone.sample(STAGE_SOLVE, "k") == profile.sample(
+            STAGE_SOLVE, "k"
+        )
+
+    def test_json_file_roundtrip(self, tmp_path):
+        profile = solve_profile([0.1, 0.2])
+        path = profile.write_json(tmp_path / "profile.json")
+        clone = LatencyProfile.read_json(path)
+        assert clone.digest() == profile.digest()
+        assert clone.source == "test"
+
+    def test_schema_is_stamped_and_validated(self):
+        payload = solve_profile([0.1]).to_dict()
+        assert payload["schema"] == PROFILE_SCHEMA
+        payload["schema"] = "repro.latency_profile/v0"
+        with pytest.raises(ValueError, match="schema"):
+            LatencyProfile.from_dict(payload)
+
+
+class TestBuildProfile:
+    def test_profile_covers_every_critical_path_span(self):
+        events = decision_chain() + decision_chain(cid="m0#2", t0=1.0)
+        traces = assemble_trees(events)
+        profile = build_profile(traces.trees(), source="unit")
+        span_count = sum(
+            len(node.critical_path())
+            for tree in traces.trees()
+            for node in tree.walk()
+        )
+        assert sum(profile.count(s) for s in profile.stages()) == span_count
+        assert profile.samples_per_stage == DEFAULT_SAMPLES
+
+    def test_build_is_deterministic(self):
+        events = decision_chain() + decision_chain(cid="m0#2", t0=1.0)
+        a = build_profile(assemble_trees(events).trees())
+        b = build_profile(assemble_trees(events).trees())
+        assert a.digest() == b.digest()
